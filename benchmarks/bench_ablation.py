@@ -1,0 +1,25 @@
+"""Benchmark: regenerate the design ablations (drain rate, packing)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_drain_rate_ablation(benchmark, capsys):
+    points = run_once(benchmark, ablation.drain_rate_sweep)
+    speedups = [p.speedup_vs_ws for p in points]
+    # A faster drain monotonically improves DiVa's advantage.
+    assert all(a <= b for a, b in zip(speedups, speedups[1:]))
+    with capsys.disabled():
+        print("\ndrain sweep:", {p.label: round(p.speedup_vs_ws, 2)
+                                 for p in points})
+
+
+def test_packing_ablation(benchmark, capsys):
+    result = run_once(benchmark, ablation.packing_study, "MobileNet", 8)
+    # Section VII's future-work idea pays off on sliver GEMMs.
+    assert result.improvement > 3.0
+    with capsys.disabled():
+        print(f"\npacking: {result.baseline_utilization * 100:.2f}% -> "
+              f"{result.packed_utilization * 100:.2f}% "
+              f"({result.improvement:.1f}x) at "
+              f"{result.area_overhead_fraction * 100:.0f}% area")

@@ -1,0 +1,45 @@
+"""Benchmark: cycle-model throughput on the paper's GEMM classes.
+
+A microbenchmark ablation across the three dataflows on the two GEMM
+regimes that decide DP-SGD performance: regular forward GEMMs and
+tall-skinny per-example weight-gradient GEMMs.
+"""
+
+import pytest
+
+from repro.core import build_accelerator
+from repro.workloads.gemms import Gemm
+
+REGULAR = Gemm(32 * 1024, 576, 64)          # conv forward, B=32
+SKINNY = Gemm(576, 16, 512, count=32)       # per-example conv wgrad
+
+ENGINES = ("ws", "os", "diva")
+
+
+@pytest.mark.parametrize("kind", ENGINES)
+def test_regular_gemm(benchmark, kind):
+    accel = (build_accelerator("ws") if kind == "ws"
+             else build_accelerator(kind))
+    stats = benchmark(accel.engine.gemm_stats, REGULAR)
+    assert stats.utilization > 0.01
+
+
+@pytest.mark.parametrize("kind", ENGINES)
+def test_skinny_gemm(benchmark, kind):
+    accel = (build_accelerator("ws") if kind == "ws"
+             else build_accelerator(kind))
+    stats = benchmark(accel.engine.gemm_stats, SKINNY)
+    assert stats.utilization > 0.0005
+
+
+def test_diva_skinny_advantage(benchmark):
+    """The paper's core claim at the microbenchmark level."""
+    ws = build_accelerator("ws")
+    diva = build_accelerator("diva")
+
+    def compare():
+        return (ws.engine.utilization(SKINNY),
+                diva.engine.utilization(SKINNY))
+
+    ws_util, diva_util = benchmark(compare)
+    assert diva_util > 3 * ws_util

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (memory breakdown, all nine models)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_memory
+from repro.training import Algorithm
+
+
+def test_fig04_memory(benchmark, capsys):
+    rows = run_once(benchmark, fig04_memory.run)
+    stats = fig04_memory.summarize(rows)
+    # Paper: per-example grads ~78% of DP-SGD memory; DP-SGD(R) ~3.8x
+    # smaller than DP-SGD.
+    assert stats["dp_sgd_example_grad_fraction"] > 0.6
+    assert stats["dp_sgd_r_memory_reduction"] > 2.0
+    with capsys.disabled():
+        print("\n" + fig04_memory.render(rows))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (WS training-time breakdown)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_breakdown
+
+
+def test_fig05_breakdown(benchmark, capsys):
+    rows = run_once(benchmark, fig05_breakdown.run)
+    stats = fig05_breakdown.summarize(rows)
+    # Paper: DP-SGD 9.1x / DP-SGD(R) 5.8x slower than SGD; backprop ~99%.
+    assert 4.0 < stats["dp_sgd_slowdown"] < 20.0
+    assert 3.0 < stats["dp_sgd_r_slowdown"] < stats["dp_sgd_slowdown"]
+    assert stats["dp_backprop_fraction"] > 0.9
+    with capsys.disabled():
+        print("\n" + fig05_breakdown.render(rows))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 7 (WS FLOPS utilization per GEMM class)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig07_utilization
+from repro.workloads import GemmKind
+
+
+def test_fig07_utilization(benchmark, capsys):
+    rows = run_once(benchmark, fig07_utilization.run)
+    # Paper: per-example grads show by far the lowest utilization.
+    for row in rows:
+        assert (row.utilization[GemmKind.WGRAD_EXAMPLE]
+                < row.utilization[GemmKind.WGRAD_BATCH])
+    with capsys.disabled():
+        print("\n" + fig07_utilization.render(rows))

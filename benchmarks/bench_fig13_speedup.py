@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 13 (end-to-end speedup vs WS)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_speedup
+
+
+def test_fig13_speedup(benchmark, capsys):
+    rows = run_once(benchmark, fig13_speedup.run)
+    stats = fig13_speedup.summarize(rows)
+    # Paper: DiVa avg 3.6x (max 7.3x) over WS; DiVa-SGD 1.6x over WS-SGD.
+    assert 2.0 < stats["diva_speedup_avg"] < 6.0
+    assert stats["diva_speedup_max"] > 3.5
+    assert stats["diva_sgd_speedup_avg"] > 1.1
+    # DiVa DP approaches non-private WS-SGD performance (paper: 75%).
+    assert stats["dp_vs_nonprivate_avg"] > 0.4
+    with capsys.disabled():
+        print("\n" + fig13_speedup.render(rows))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 14 (DP-SGD(R) latency breakdown)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_breakdown
+from repro.experiments.report import mean
+
+
+def test_fig14_breakdown(benchmark, capsys):
+    rows = run_once(benchmark, fig14_breakdown.run)
+    reductions = fig14_breakdown.example_grad_reduction(rows)
+    # Paper: per-example-gradient latency reduced 7.0x avg (max 14.6x).
+    assert mean(list(reductions.values())) > 3.0
+    with capsys.disabled():
+        print("\n" + fig14_breakdown.render(rows))

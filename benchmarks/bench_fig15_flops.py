@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 (FLOPS utilization improvement)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_flops
+
+
+def test_fig15_flops(benchmark, capsys):
+    rows = run_once(benchmark, fig15_flops.run)
+    stats = fig15_flops.summarize()
+    # Paper: 5.5x avg CNN improvement (max 28.9x), 2.2x for NLP.
+    assert stats["cnn_example_grad_improvement"] > 3.0
+    assert stats["nlp_example_grad_improvement"] > 1.5
+    with capsys.disabled():
+        print("\n" + fig15_flops.render(rows))

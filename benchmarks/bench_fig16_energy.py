@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 16 (training-step energy vs WS)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_energy
+
+
+def test_fig16_energy(benchmark, capsys):
+    rows = run_once(benchmark, fig16_energy.run)
+    stats = fig16_energy.summarize()
+    # Paper: DiVa reduces energy 2.6x avg (max 4.6x).
+    assert 1.5 < stats["diva_energy_reduction_avg"] < 6.0
+    assert stats["diva_energy_reduction_max"] > 3.0
+    with capsys.disabled():
+        print("\n" + fig16_energy.render(rows))

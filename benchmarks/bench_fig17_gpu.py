@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 17 (DiVa vs V100/A100 GPUs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_gpu
+
+
+def test_fig17_gpu(benchmark, capsys):
+    rows = run_once(benchmark, fig17_gpu.run)
+    # Paper: DiVa competitive with Tensor-Core GPUs despite 4.2x/10.6x
+    # lower peak throughput; MobileNet is the GPU-wins exception.
+    mobilenet = next(r for r in rows if r.model == "MobileNet")
+    assert mobilenet.speedup("DiVa (BF16)", "V100 (FP16)") < 1.0
+    bert = next(r for r in rows if r.model == "BERT-large")
+    assert bert.speedup("DiVa (BF16)", "V100 (FP16)") > 1.0
+    with capsys.disabled():
+        print("\n" + fig17_gpu.render(rows))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the GEMM-shape robustness sweep."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import gemm_sweep
+
+
+def test_gemm_sweep(benchmark, capsys):
+    points = run_once(benchmark, gemm_sweep.k_sweep)
+    # DiVa's advantage peaks at small K and fades once the systolic
+    # array is saturated — the crossover structure of Section IV-B.
+    assert points[0].diva_advantage > 5.0
+    assert points[-1].diva_advantage < 2.0
+    with capsys.disabled():
+        print("\n" + gemm_sweep.render(points))

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section III-A max-batch table."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import maxbatch
+
+
+def test_maxbatch(benchmark, capsys):
+    rows = run_once(benchmark, maxbatch.run)
+    by_model = {r.model: r for r in rows}
+    # Paper anchors: ResNet-152 DP-SGD at 32; SGD orders of magnitude up.
+    assert by_model["ResNet-152"].dp_sgd == 32
+    for row in rows:
+        assert row.sgd >= 8 * row.dp_sgd
+        assert row.dp_sgd_r >= row.dp_sgd
+    with capsys.disabled():
+        print("\n" + maxbatch.render(rows))

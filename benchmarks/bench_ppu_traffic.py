@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section I / IV-C PPU traffic-reduction claim."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ppu_traffic
+from repro.experiments.report import mean
+
+
+def test_ppu_traffic(benchmark, capsys):
+    rows = run_once(benchmark, ppu_traffic.run)
+    # Paper: ~99% reduction in post-processing off-chip data movement.
+    assert mean([r.reduction for r in rows]) > 0.9
+    with capsys.disabled():
+        print("\n" + ppu_traffic.render(rows))

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the Section VI-C sensitivity studies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_images(benchmark, capsys):
+    points = run_once(benchmark, sensitivity.run_images)
+    avg = sensitivity.averages(points)
+    # Paper: speedup decays as images grow (3.6x -> 2.1x -> 1.7x).
+    sizes = sorted(avg, key=lambda s: int(s[3:]))
+    values = [avg[s] for s in sizes]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    with capsys.disabled():
+        print("\nimage sweep:", {k: round(v, 2) for k, v in avg.items()})
+
+
+def test_sensitivity_sequences(benchmark, capsys):
+    points = run_once(benchmark, sensitivity.run_sequences)
+    avg = sensitivity.averages(points)
+    # Paper: 2.0x / 1.6x / 1.5x for 2x/4x/8x sequence lengths.
+    lens = sorted(avg, key=lambda s: int(s[3:]))
+    values = [avg[s] for s in lens]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    with capsys.disabled():
+        print("\nsequence sweep:", {k: round(v, 2) for k, v in avg.items()})

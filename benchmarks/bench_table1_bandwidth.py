@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table I (SRAM bandwidth requirements)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_bandwidth
+
+
+def test_table1_bandwidth(benchmark, capsys):
+    result = run_once(benchmark, table1_bandwidth.run)
+    # Paper's exact totals for the 128x128 array.
+    assert result.ws.total == 2 * 128 + 20 * 128
+    assert result.os_outer.total == 2 * 128 + 34 * 128
+    with capsys.disabled():
+        print("\n" + table1_bandwidth.render(result))

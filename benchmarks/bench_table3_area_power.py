@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table III (power, area, effective TFLOPS)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_area_power
+
+
+def test_table3_area_power(benchmark, capsys):
+    result = run_once(benchmark, table3_area_power.run)
+    ws = result.profiles["ws"]
+    diva = result.profiles["diva"]
+    # Paper: 13.4/13.6/21.2 W; 68/70/82 mm2; DiVa 3.5x TFLOPS/W and
+    # 4.6x TFLOPS/mm2 over WS.
+    assert ws.power_w == pytest.approx(13.4, rel=0.02)
+    assert diva.area_mm2 == pytest.approx(82, rel=0.02)
+    assert diva.tflops_per_watt / ws.tflops_per_watt > 2.0
+    assert diva.tflops_per_mm2 / ws.tflops_per_mm2 > 3.0
+    with capsys.disabled():
+        print("\n" + table3_area_power.render(result))

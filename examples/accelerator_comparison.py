@@ -1,0 +1,71 @@
+"""Compare every accelerator design point on one workload (Figs 13/16/17).
+
+Run:
+    python examples/accelerator_comparison.py [model]
+
+Sweeps WS / OS (+-PPU) / DiVa (+-PPU) on DP-SGD(R), prices each step's
+energy, and adds the V100/A100 GPU comparison on the backprop
+bottleneck GEMMs.
+"""
+
+import sys
+
+from repro.arch.gpu import A100, V100, GpuModel
+from repro.core import build_accelerator
+from repro.energy import EnergyModel
+from repro.training import (
+    Algorithm,
+    bottleneck_gemms,
+    max_batch_size,
+    simulate_training_step,
+)
+from repro.workloads import build_model
+
+DESIGNS = (
+    ("WS systolic", "ws", False),
+    ("OS systolic", "os", False),
+    ("OS + PPU", "os", True),
+    ("DiVa w/o PPU", "diva", False),
+    ("DiVa + PPU", "diva", True),
+)
+
+
+def main(model_name: str = "ResNet-152") -> None:
+    network = build_model(model_name)
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    energy_model = EnergyModel()
+    print(f"{network.describe()}, B={batch}, DP-SGD(R)\n")
+
+    print(f"{'design':14s} {'time (ms)':>10s} {'speedup':>8s} "
+          f"{'energy (J)':>11s} {'energy ratio':>12s}")
+    base_time = base_energy = None
+    for label, kind, with_ppu in DESIGNS:
+        accel = (build_accelerator("ws") if kind == "ws"
+                 else build_accelerator(kind, with_ppu=with_ppu))
+        report = simulate_training_step(network, Algorithm.DP_SGD_R,
+                                        accel, batch)
+        energy = energy_model.training_energy(report, kind).total_j
+        if base_time is None:
+            base_time, base_energy = report.total_seconds, energy
+        print(f"{label:14s} {report.total_seconds * 1e3:10.2f} "
+              f"{base_time / report.total_seconds:7.2f}x "
+              f"{energy:11.3f} {base_energy / energy:11.2f}x")
+
+    # -- GPUs on the backpropagation bottleneck GEMMs (Figure 17) ------------
+    print("\nBackprop bottleneck GEMMs vs GPUs:")
+    gpu_network = build_model(model_name, native_groups=True)
+    gemms = bottleneck_gemms(gpu_network, Algorithm.DP_SGD_R, batch)
+    diva = build_accelerator("diva", with_ppu=True)
+    diva_s = sum(diva.run_gemm(g).cycles for g in gemms) / diva.frequency_hz
+    rows = [("DiVa (BF16, 29.5 peak TFLOPS)", diva_s)]
+    for config, tc in ((V100, False), (V100, True), (A100, False),
+                       (A100, True)):
+        gpu = GpuModel(config, tensor_cores=tc)
+        rows.append((gpu.name, gpu.gemms_seconds(gemms)))
+    for label, seconds in rows:
+        print(f"  {label:30s} {seconds * 1e3:9.2f} ms "
+              f"(DiVa is {seconds / diva_s:4.2f}x faster)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ResNet-152")

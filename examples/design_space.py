@@ -1,0 +1,62 @@
+"""Design-space ablations for DiVa's key architectural choices.
+
+Run:
+    python examples/design_space.py [model]
+
+Sweeps the parameters DESIGN.md calls out: the drain rate R (how many
+output rows per clock feed the PPU), the PE array geometry, and the
+off-chip bandwidth — quantifying how sensitive DiVa's DP-SGD(R)
+advantage is to each.
+"""
+
+import sys
+
+from repro.arch.engine import ArrayConfig
+from repro.arch.memory import MemoryConfig
+from repro.core import DivaConfig, PpuConfig, build_accelerator
+from repro.training import Algorithm, max_batch_size, simulate_training_step
+from repro.workloads import build_model
+
+
+def _speedup(network, batch, config: DivaConfig) -> float:
+    ws = build_accelerator("ws", config=config)
+    diva = build_accelerator("diva", with_ppu=True, config=config)
+    base = simulate_training_step(network, Algorithm.DP_SGD_R, ws, batch)
+    ours = simulate_training_step(network, Algorithm.DP_SGD_R, diva, batch)
+    return base.total_seconds / ours.total_seconds
+
+
+def main(model_name: str = "ResNet-50") -> None:
+    network = build_model(model_name)
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    print(f"{network.describe()}, B={batch}, DP-SGD(R); "
+          "DiVa-over-WS speedup per design point\n")
+
+    print("Drain rate R (rows/clock; paper default 8):")
+    for drain in (2, 4, 8, 16, 32):
+        config = DivaConfig(
+            array=ArrayConfig(drain_rows_per_cycle=drain),
+            ppu=PpuConfig(num_trees=drain),
+        )
+        print(f"  R={drain:<3d} speedup {_speedup(network, batch, config):.2f}x")
+
+    print("\nPE array geometry (same 16384 MACs unless noted):")
+    for height, width in ((64, 64), (64, 256), (128, 128), (256, 128),
+                          (256, 256)):
+        config = DivaConfig(
+            array=ArrayConfig(height=height, width=width),
+            ppu=PpuConfig(tree_width=width),
+        )
+        print(f"  {height}x{width:<4d} speedup "
+              f"{_speedup(network, batch, config):.2f}x")
+
+    print("\nOff-chip bandwidth (paper default 450 GB/s):")
+    for gbps in (150, 300, 450, 900, 1800):
+        config = DivaConfig(
+            memory=MemoryConfig(bandwidth_bytes_per_s=gbps * 1e9))
+        print(f"  {gbps:>4d} GB/s speedup "
+              f"{_speedup(network, batch, config):.2f}x")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ResNet-50")

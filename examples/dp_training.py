@@ -1,0 +1,88 @@
+"""Differentially private training end-to-end on the NumPy substrate.
+
+Run:
+    python examples/dp_training.py
+
+Trains a small CNN with DP-SGD on synthetic CIFAR-shaped data, verifies
+that plain DP-SGD and reweighted DP-SGD(R) produce identical updates
+(the algebraic identity behind Algorithm 1), and reports the privacy
+budget spent via the RDP accountant.
+"""
+
+import copy
+
+import numpy as np
+
+from repro.dpml import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DpSgdOptimizer,
+    Flatten,
+    PrivacyParams,
+    ReLU,
+    Sequential,
+    evaluate,
+    noise_multiplier_for_epsilon,
+    synthetic_images,
+    train_dpsgd,
+)
+
+
+def build_cnn(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2D(3, 16, rng=rng), ReLU(), AvgPool2D(2),
+        Conv2D(16, 32, rng=rng), ReLU(), AvgPool2D(2),
+        Flatten(),
+        Dense(32 * 2 * 2, 10, rng=rng),
+    ])
+
+
+def check_equivalence() -> None:
+    """DP-SGD == DP-SGD(R): same minibatch + same noise -> same update."""
+    data = synthetic_images(64, 3, 8, 10, seed=1)
+    x, y = data.x[:16], data.y[:16]
+    net_a = build_cnn(3)
+    net_b = copy.deepcopy(net_a)
+    for net, step in ((net_a, "step_dpsgd"), (net_b, "step_reweighted")):
+        optimizer = DpSgdOptimizer(
+            net, lr=0.1, privacy=PrivacyParams(1.0, 1.0),
+            rng=np.random.default_rng(42))
+        getattr(optimizer, step)(x, y)
+    worst = max(
+        np.abs(la.params[k] - lb.params[k]).max()
+        for la, lb in zip(net_a.weight_layers, net_b.weight_layers)
+        for k in la.params
+    )
+    print(f"DP-SGD vs DP-SGD(R) max weight difference: {worst:.2e} "
+          "(identical up to float error)")
+
+
+def main() -> None:
+    check_equivalence()
+
+    data = synthetic_images(512, 3, 8, 10, separation=2.5, seed=0)
+    steps, batch, delta = 60, 64, 1e-5
+    sigma = noise_multiplier_for_epsilon(
+        target_epsilon=8.0, delta=delta,
+        sampling_rate=batch / len(data), steps=steps)
+    print(f"\nCalibrated noise multiplier for (eps=8, delta={delta}): "
+          f"sigma={sigma:.2f}")
+
+    network = build_cnn(0)
+    history, accountant = train_dpsgd(
+        network, data, steps=steps, batch_size=batch, lr=0.3,
+        clip_norm=1.0, noise_multiplier=sigma, delta=delta,
+        method="reweighted",
+    )
+    eps, d = accountant.privacy_spent(delta)
+    print(f"Trained {steps} steps of DP-SGD(R):")
+    print(f"  loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+    print(f"  mean per-example grad norm: {history.grad_norms[-1]:.3f}")
+    print(f"  accuracy: {evaluate(network, data) * 100:.1f}%")
+    print(f"  privacy spent: (epsilon={eps:.2f}, delta={d})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: simulate one DP-SGD(R) training step on DiVa vs a TPU-like
+weight-stationary baseline.
+
+Run:
+    python examples/quickstart.py [model]
+
+This is the 60-second tour of the library: build a workload from the
+zoo, pick the paper's batch policy, run the cycle-level simulation on
+two accelerators and compare.
+"""
+
+import sys
+
+from repro.core import DivaConfig, build_accelerator
+from repro.training import (
+    Algorithm,
+    PHASE_ORDER,
+    max_batch_size,
+    simulate_training_step,
+)
+from repro.workloads import build_model
+
+
+def main(model_name: str = "ResNet-50") -> None:
+    network = build_model(model_name)
+    print(f"Workload: {network.describe()}")
+
+    # The paper's batch policy: the largest mini-batch plain DP-SGD fits
+    # in TPUv3's 16 GB HBM (Section V).
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    print(f"Mini-batch (max feasible for DP-SGD under 16 GB): {batch}\n")
+
+    print("DiVa configuration (Table II):")
+    for key, value in DivaConfig().table2().items():
+        print(f"  {key:28s} {value}")
+    print()
+
+    baseline = build_accelerator("ws")
+    diva = build_accelerator("diva", with_ppu=True)
+
+    ws_report = simulate_training_step(network, Algorithm.DP_SGD_R,
+                                       baseline, batch)
+    diva_report = simulate_training_step(network, Algorithm.DP_SGD_R,
+                                         diva, batch)
+
+    print(f"{'Phase':34s} {'WS (ms)':>10s} {'DiVa (ms)':>10s}")
+    for phase in PHASE_ORDER:
+        ws_ms = ws_report.phase_seconds(phase) * 1e3
+        diva_ms = diva_report.phase_seconds(phase) * 1e3
+        if ws_ms or diva_ms:
+            print(f"{str(phase):34s} {ws_ms:10.3f} {diva_ms:10.3f}")
+    print(f"{'TOTAL':34s} {ws_report.total_seconds * 1e3:10.3f} "
+          f"{diva_report.total_seconds * 1e3:10.3f}")
+
+    speedup = ws_report.total_seconds / diva_report.total_seconds
+    traffic = (1.0 - diva_report.postprocessing_dram_bytes
+               / ws_report.postprocessing_dram_bytes)
+    print(f"\nDiVa speedup over WS systolic: {speedup:.2f}x "
+          f"(paper: avg 3.6x)")
+    print(f"Post-processing DRAM traffic removed by the PPU: "
+          f"{traffic * 100:.1f}% (paper: ~99%)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ResNet-50")

@@ -1,0 +1,78 @@
+"""Workload characterization of DP-SGD, in the style of Section III.
+
+Run:
+    python examples/workload_characterization.py [model]
+
+For one zoo model, reports: the memory breakdown and max-batch cliff
+(Figure 4 / Section III-A), the WS training-time breakdown (Figure 5)
+and the per-GEMM-class FLOPS utilization (Figure 7) — the evidence
+chain that motivates DiVa.
+"""
+
+import sys
+
+from repro.core import build_accelerator
+from repro.training import (
+    Algorithm,
+    PHASE_ORDER,
+    max_batch_size,
+    memory_breakdown,
+    simulate_training_step,
+    stage_utilization,
+)
+from repro.workloads import GemmKind, build_model
+
+
+def main(model_name: str = "BERT-base") -> None:
+    network = build_model(model_name)
+    print(f"Characterizing {network.describe()}\n")
+
+    # -- Section III-A: memory and the batch cliff ---------------------------
+    print("Max mini-batch under 16 GB HBM:")
+    for algorithm in Algorithm:
+        batch = max_batch_size(network, algorithm)
+        print(f"  {str(algorithm):10s} {batch}")
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    print(f"\nMemory breakdown at B={batch} (GB):")
+    header = f"  {'algorithm':10s} {'weights':>8s} {'acts':>8s} " \
+             f"{'Gbatch':>8s} {'Gexample':>9s} {'else':>8s} {'total':>8s}"
+    print(header)
+    for algorithm in Algorithm:
+        b = memory_breakdown(network, algorithm, batch)
+        gb = 2**30
+        print(f"  {str(algorithm):10s} {b.weights / gb:8.2f} "
+              f"{b.activations / gb:8.2f} {b.batch_gradients / gb:8.2f} "
+              f"{b.example_gradients / gb:9.2f} {b.other / gb:8.2f} "
+              f"{b.total / gb:8.2f}")
+
+    # -- Section III-B: where the time goes on a TPU-like baseline -----------
+    baseline = build_accelerator("ws")
+    print(f"\nWS training-step breakdown at B={batch} (ms):")
+    reports = {
+        algorithm: simulate_training_step(network, algorithm, baseline,
+                                          batch)
+        for algorithm in Algorithm
+    }
+    print(f"  {'phase':34s} " + " ".join(
+        f"{str(a):>10s}" for a in Algorithm))
+    for phase in PHASE_ORDER:
+        cells = [reports[a].phase_seconds(phase) * 1e3 for a in Algorithm]
+        if any(cells):
+            print(f"  {str(phase):34s} "
+                  + " ".join(f"{c:10.2f}" for c in cells))
+    sgd_time = reports[Algorithm.SGD].total_seconds
+    for algorithm in (Algorithm.DP_SGD, Algorithm.DP_SGD_R):
+        ratio = reports[algorithm].total_seconds / sgd_time
+        print(f"  -> {algorithm} is {ratio:.1f}x slower than SGD "
+              f"(backprop {reports[algorithm].backprop_fraction * 100:.0f}%)")
+
+    # -- Section III-C: root cause — per-GEMM-class utilization --------------
+    print(f"\nWS FLOPS utilization per GEMM class at B={batch}:")
+    for kind in (GemmKind.FORWARD, GemmKind.ACT_GRAD, GemmKind.WGRAD_BATCH,
+                 GemmKind.WGRAD_EXAMPLE):
+        util = stage_utilization(baseline, network.gemms(kind, batch))
+        print(f"  {kind.value:16s} {util * 100:6.2f}%")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BERT-base")

@@ -1,0 +1,102 @@
+"""Command-line interface for the DiVa reproduction.
+
+Usage:
+    python -m repro models                     # list the workload zoo
+    python -m repro experiments                # list experiments
+    python -m repro run fig13                  # regenerate one figure
+    python -m repro run all                    # regenerate everything
+    python -m repro simulate ResNet-50         # one-model comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads import MODEL_NAMES, build_model
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    for name in MODEL_NAMES:
+        print(build_model(name).describe())
+    return 0
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for key, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{key:12s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.experiment == "all":
+        from repro.experiments.run_all import main as run_all
+        run_all()
+        return 0
+    module = ALL_EXPERIMENTS.get(args.experiment)
+    if module is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    print(module.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import build_accelerator
+    from repro.training import (
+        Algorithm,
+        max_batch_size,
+        simulate_training_step,
+    )
+
+    network = build_model(args.model)
+    batch = args.batch or max_batch_size(network, Algorithm.DP_SGD)
+    print(f"{network.describe()}, B={batch}")
+    base = None
+    for kind, with_ppu in (("ws", False), ("os", True), ("diva", True)):
+        accel = (build_accelerator("ws") if kind == "ws"
+                 else build_accelerator(kind, with_ppu=with_ppu))
+        report = simulate_training_step(
+            network, Algorithm(args.algorithm), accel, batch)
+        if base is None:
+            base = report.total_seconds
+        print(f"  {accel.name:5s} {report.total_seconds * 1e3:9.2f} ms "
+              f"({base / report.total_seconds:.2f}x)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DiVa (MICRO 2022) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("models", help="list the workload zoo")
+    sub.add_parser("experiments", help="list available experiments")
+    run = sub.add_parser("run", help="regenerate a figure/table")
+    run.add_argument("experiment", help="experiment key, or 'all'")
+    sim = sub.add_parser("simulate", help="simulate one model")
+    sim.add_argument("model", choices=MODEL_NAMES)
+    sim.add_argument("--batch", type=int, default=0,
+                     help="mini-batch (default: max DP-SGD batch)")
+    sim.add_argument("--algorithm", default="DP-SGD(R)",
+                     choices=[a.value for a in __import__(
+                         "repro.training", fromlist=["Algorithm"]
+                     ).Algorithm])
+    args = parser.parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Accelerator substrate: engines, memory, vector unit, bandwidth, GPUs."""
+
+from repro.arch.accelerator import Accelerator, OpRun
+from repro.arch.bandwidth import (
+    SramBandwidth,
+    os_bandwidth,
+    outer_product_bandwidth,
+    ws_bandwidth,
+)
+from repro.arch.engine import ArrayConfig, GemmEngine, GemmStats, TileShape
+from repro.arch.memory import MemoryConfig, MemorySystem
+from repro.arch.systolic import OutputStationaryEngine, WeightStationaryEngine
+from repro.arch.vector import VectorUnit, VectorUnitConfig
+
+__all__ = [
+    "Accelerator",
+    "OpRun",
+    "ArrayConfig",
+    "GemmEngine",
+    "GemmStats",
+    "TileShape",
+    "MemoryConfig",
+    "MemorySystem",
+    "VectorUnit",
+    "VectorUnitConfig",
+    "WeightStationaryEngine",
+    "OutputStationaryEngine",
+    "SramBandwidth",
+    "ws_bandwidth",
+    "os_bandwidth",
+    "outer_product_bandwidth",
+]

@@ -1,0 +1,224 @@
+"""Accelerator composition: GEMM engine + memory system + vector unit (+ PPU).
+
+An :class:`Accelerator` executes abstract operations (GEMMs, vector
+kernels, DRAM moves) and returns :class:`OpRun` records.  DMA transfers
+are double-buffered against compute, so an operation's latency is
+``max(compute cycles, DRAM transfer cycles)``; the DRAM access latency
+is exposed once per operation.  Aggregated OpRuns feed the training
+reports (Figures 5/13/14) and the energy model (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.arch.engine import ArrayConfig, GemmEngine
+from repro.arch.memory import MemoryConfig, MemorySystem
+from repro.arch.vector import VectorUnit, VectorUnitConfig
+from repro.workloads.gemms import Gemm
+
+if TYPE_CHECKING:  # avoid a circular import: core composes arch
+    from repro.core.ppu import PostProcessingUnit
+
+
+@dataclass(frozen=True)
+class OpRun:
+    """Execution record of one operation (or an aggregate of many)."""
+
+    cycles: int = 0
+    compute_cycles: int = 0
+    vector_cycles: int = 0
+    ppu_cycles: int = 0
+    macs: int = 0
+    vector_ops: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    sram_read_bytes: int = 0
+    sram_write_bytes: int = 0
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total off-chip traffic."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def __add__(self, other: "OpRun") -> "OpRun":
+        return OpRun(
+            cycles=self.cycles + other.cycles,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            vector_cycles=self.vector_cycles + other.vector_cycles,
+            ppu_cycles=self.ppu_cycles + other.ppu_cycles,
+            macs=self.macs + other.macs,
+            vector_ops=self.vector_ops + other.vector_ops,
+            dram_read_bytes=self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes=self.dram_write_bytes + other.dram_write_bytes,
+            sram_read_bytes=self.sram_read_bytes + other.sram_read_bytes,
+            sram_write_bytes=self.sram_write_bytes + other.sram_write_bytes,
+        )
+
+    @staticmethod
+    def zero() -> "OpRun":
+        """The additive identity, handy for aggregation."""
+        return OpRun()
+
+
+class Accelerator:
+    """A complete training accelerator model.
+
+    Parameters
+    ----------
+    name:
+        Display name used in figures ("WS", "OS", "DiVa").
+    engine:
+        The GEMM engine (dataflow) of the accelerator.
+    memory / vector / ppu:
+        Sub-units; ``ppu=None`` models a PPU-less design (the WS
+        baseline, or the "w/o PPU" ablations of Figures 13/14/16).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: GemmEngine,
+        memory: MemorySystem | None = None,
+        vector: VectorUnit | None = None,
+        ppu: "PostProcessingUnit | None" = None,
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.memory = memory or MemorySystem(
+            MemoryConfig(), frequency_hz=engine.config.frequency_hz
+        )
+        self.vector = vector or VectorUnit(VectorUnitConfig(
+            frequency_hz=engine.config.frequency_hz
+        ))
+        self.ppu = ppu
+
+    @property
+    def config(self) -> ArrayConfig:
+        return self.engine.config
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.engine.config.frequency_hz
+
+    @property
+    def can_fuse_norm(self) -> bool:
+        """Whether per-example gradient norms can be derived on the fly.
+
+        Requires an output-stationary drain (OS systolic or DiVa's
+        outer product) feeding a PPU (Section IV-C); WS output tiles are
+        too coarse to forward.
+        """
+        return (self.ppu is not None
+                and self.engine.dataflow == "output_stationary"
+                and self.ppu.matches_drain_rate(
+                    self.config.drain_rows_per_cycle, self.config.width))
+
+    # -- operations -----------------------------------------------------------
+    def run_gemm(
+        self,
+        gemm: Gemm,
+        read_lhs: bool = True,
+        read_rhs: bool = True,
+        write_output: bool = True,
+        fuse_norm: bool = False,
+    ) -> OpRun:
+        """Execute a GEMM.
+
+        ``read_lhs`` / ``read_rhs`` control whether the operands must be
+        fetched from DRAM (False models on-chip reuse from a producer).
+        ``write_output`` controls whether results are committed off-chip.
+        ``fuse_norm`` routes the drained outputs through the PPU for
+        on-the-fly L2-norm derivation (requires :attr:`can_fuse_norm`);
+        the outputs are then *consumed*, not written back.
+        """
+        if fuse_norm and not self.can_fuse_norm:
+            raise ValueError(
+                f"{self.name}: cannot fuse norm derivation "
+                "(needs an output-stationary drain into a PPU)"
+            )
+        stats = self.engine.gemm_stats(gemm)
+        input_bytes = self.config.input_bytes
+        acc_bytes = self.config.acc_bytes
+
+        dram_read = 0
+        if read_lhs:
+            dram_read += gemm.lhs_elems * input_bytes
+        if read_rhs:
+            dram_read += gemm.rhs_elems * input_bytes
+        dram_write = 0
+        sram_write = stats.sram_write_bytes
+        compute = stats.compute_cycles
+        if fuse_norm:
+            # Outputs stream through the adder trees during the drain;
+            # one norm scalar per GEMM is emitted.  If the gradients
+            # themselves must persist (plain DP-SGD's clipping), they
+            # are committed alongside; under DP-SGD(R) they are consumed.
+            compute += self.ppu.flush_cycles() * gemm.count
+            dram_write = gemm.count * acc_bytes
+            if write_output:
+                dram_write += gemm.out_elems * acc_bytes
+            else:
+                sram_write = gemm.count * acc_bytes
+        elif write_output:
+            dram_write = gemm.out_elems * acc_bytes
+
+        transfer = self.memory.transfer_cycles(dram_read + dram_write)
+        return OpRun(
+            cycles=max(compute, transfer),
+            compute_cycles=compute,
+            ppu_cycles=compute if fuse_norm else 0,
+            macs=stats.macs,
+            dram_read_bytes=dram_read,
+            dram_write_bytes=dram_write,
+            sram_read_bytes=stats.sram_read_bytes,
+            sram_write_bytes=sram_write,
+        )
+
+    def run_vector(
+        self,
+        elems: int,
+        ops_per_elem: float = 1.0,
+        dram_read_bytes: int = 0,
+        dram_write_bytes: int = 0,
+        reduction: bool = False,
+    ) -> OpRun:
+        """Execute an element-wise or reduction kernel on the vector unit."""
+        if reduction:
+            compute = self.vector.reduction_cycles(elems, ops_per_elem)
+        else:
+            compute = self.vector.elementwise_cycles(elems, ops_per_elem)
+        transfer = self.memory.transfer_cycles(
+            dram_read_bytes + dram_write_bytes
+        )
+        return OpRun(
+            cycles=max(compute, transfer),
+            vector_cycles=compute,
+            vector_ops=int(elems * ops_per_elem),
+            dram_read_bytes=dram_read_bytes,
+            dram_write_bytes=dram_write_bytes,
+            sram_read_bytes=elems * self.config.acc_bytes,
+            sram_write_bytes=elems * self.config.acc_bytes,
+        )
+
+    def run_ppu_reduction(self, elems: int) -> OpRun:
+        """Execute a standalone reduction on the PPU (if present)."""
+        if self.ppu is None:
+            raise ValueError(f"{self.name} has no PPU")
+        cycles = self.ppu.reduction_cycles(elems)
+        return OpRun(
+            cycles=cycles,
+            ppu_cycles=cycles,
+            vector_ops=elems,
+            sram_read_bytes=elems * self.config.acc_bytes,
+            sram_write_bytes=self.config.acc_bytes,
+        )
+
+    def seconds(self, cycles: int) -> float:
+        """Convert engine cycles to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ppu = "+PPU" if self.ppu is not None else ""
+        return f"Accelerator({self.name}{ppu}, {self.engine!r})"

@@ -1,0 +1,220 @@
+"""GEMM engine abstraction: tiling, cycle accounting, utilization.
+
+Every engine (WS systolic, OS systolic, DiVa outer-product) maps a GEMM
+onto a fixed ``height x width`` array of processing engines (PEs) by
+tiling two of the three GEMM dimensions onto the physical array, then
+accumulates per-tile cycle counts from dataflow-specific formulas
+(Figure 3 of the paper).  The resulting :class:`GemmStats` carries
+everything downstream consumers need: compute cycles, MAC counts
+(→ FLOPS utilization, Figures 7/15) and SRAM traffic (→ energy model).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.workloads.gemms import Gemm
+
+
+def chunk_sizes(total: int, size: int) -> list[int]:
+    """Split ``total`` into chunks of at most ``size`` (last may be short)."""
+    if total <= 0 or size <= 0:
+        raise ValueError(f"chunk_sizes requires positive args, got {total}, {size}")
+    full, rem = divmod(total, size)
+    return [size] * full + ([rem] if rem else [])
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Physical parameters of a 2D PE array (Table II defaults).
+
+    Attributes
+    ----------
+    height, width:
+        PE array dimensions (PE_H, PE_W); 128x128 like Google TPUv3.
+    frequency_hz:
+        Operating frequency (940 MHz, Table II).
+    fill_rows_per_cycle:
+        RHS-matrix rows latched per clock during WS weight fill
+        (8 rows/clock, Table I).
+    drain_rows_per_cycle:
+        Output rows drained per clock from an output-stationary array
+        (R = 8, Section IV-C).
+    input_bytes / acc_bytes:
+        Operand (BF16) and accumulator (FP32) widths (Table I footnote).
+    weight_double_buffer:
+        WS arrays overlap the next tile's weight fill with the current
+        stream (TPU weight-prefetch patents cited in Section V).
+    accum_double_buffer:
+        OS/outer-product arrays overlap output drain with the next
+        tile's accumulation.
+    tile_startup_cycles:
+        Fixed per-tile control overhead (address generation, issue).
+    gemm_startup_cycles:
+        Fixed per-GEMM overhead (descriptor decode, DMA kick-off).
+    """
+
+    height: int = 128
+    width: int = 128
+    frequency_hz: float = 940e6
+    fill_rows_per_cycle: int = 8
+    drain_rows_per_cycle: int = 8
+    input_bytes: int = 2
+    acc_bytes: int = 4
+    weight_double_buffer: bool = True
+    accum_double_buffer: bool = True
+    tile_startup_cycles: int = 2
+    gemm_startup_cycles: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("height", "width", "fill_rows_per_cycle",
+                     "drain_rows_per_cycle"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Maximum MACs the array can retire per clock."""
+        return self.height * self.width
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s (2 FLOPs per MAC)."""
+        return 2.0 * self.peak_macs_per_cycle * self.frequency_hz
+
+
+@dataclass(frozen=True)
+class GemmStats:
+    """Execution statistics of one (possibly batched) GEMM on an engine.
+
+    All figures cover every one of ``gemm.count`` independent GEMMs.
+    """
+
+    gemm: Gemm
+    engine: str
+    compute_cycles: int
+    macs: int
+    peak_macs_per_cycle: int
+    tiles: int
+    sram_read_bytes: int
+    sram_write_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        """Effective FLOPS utilization, as plotted in Figures 7 and 15."""
+        if self.compute_cycles == 0:
+            return 0.0
+        return self.macs / (self.compute_cycles * self.peak_macs_per_cycle)
+
+    def __add__(self, other: "GemmStats") -> "GemmStats":
+        if self.peak_macs_per_cycle != other.peak_macs_per_cycle:
+            raise ValueError("cannot merge stats from different arrays")
+        return GemmStats(
+            gemm=self.gemm,
+            engine=self.engine,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            macs=self.macs + other.macs,
+            peak_macs_per_cycle=self.peak_macs_per_cycle,
+            tiles=self.tiles + other.tiles,
+            sram_read_bytes=self.sram_read_bytes + other.sram_read_bytes,
+            sram_write_bytes=self.sram_write_bytes + other.sram_write_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """One tile of a GEMM mapped onto the array."""
+
+    m: int
+    k: int
+    n: int
+
+
+class GemmEngine(abc.ABC):
+    """Abstract GEMM engine with dataflow-specific tiling and cycles."""
+
+    #: Human-readable engine name used in reports ("WS", "OS", "DiVa").
+    name: str = "abstract"
+    #: Dataflow family: "weight_stationary" or "output_stationary".
+    dataflow: str = "abstract"
+
+    def __init__(self, config: ArrayConfig | None = None) -> None:
+        self.config = config or ArrayConfig()
+
+    # -- dataflow-specific hooks -------------------------------------------
+    @abc.abstractmethod
+    def tiles(self, gemm: Gemm) -> list[TileShape]:
+        """Decompose a single GEMM (count ignored) into array tiles."""
+
+    @abc.abstractmethod
+    def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
+        """Return ``(setup_or_drain_cycles, main_cycles)`` for one tile.
+
+        For WS the first element is the weight-fill time; for OS and
+        outer-product it is the output-drain time.  The two phases can
+        overlap across consecutive tiles when the corresponding
+        double-buffer option is enabled.
+        """
+
+    @abc.abstractmethod
+    def tile_sram_traffic(self, tile: TileShape) -> tuple[int, int]:
+        """Return ``(read_bytes, write_bytes)`` of SRAM traffic per tile."""
+
+    # -- shared machinery ----------------------------------------------------
+    def _overlapped(self) -> bool:
+        if self.dataflow == "weight_stationary":
+            return self.config.weight_double_buffer
+        return self.config.accum_double_buffer
+
+    def single_gemm_cycles(self, gemm: Gemm) -> tuple[int, int]:
+        """Cycles and tile count for one GEMM instance (count ignored)."""
+        tiles = self.tiles(gemm)
+        phases = [self.tile_cycle_phases(t) for t in tiles]
+        startup = self.config.gemm_startup_cycles
+        per_tile_extra = self.config.tile_startup_cycles
+        if self._overlapped():
+            # The overlapped phase (fill or drain) hides behind the main
+            # phase of the neighbouring tile; one exposed instance
+            # remains at the pipeline boundary.
+            exposed = phases[0][0] if self.dataflow == "weight_stationary" \
+                else phases[-1][0]
+            cycles = startup + exposed + sum(
+                max(overlap, main) + per_tile_extra
+                for overlap, main in phases
+            )
+            # In the overlapped regime the *own* phase of each tile is
+            # already folded into max(); remove the double count of the
+            # boundary tile's main phase pairing.
+        else:
+            cycles = startup + sum(
+                overlap + main + per_tile_extra for overlap, main in phases
+            )
+        return cycles, len(tiles)
+
+    def gemm_stats(self, gemm: Gemm) -> GemmStats:
+        """Execute ``gemm`` (all ``count`` instances, sequentially)."""
+        cycles, tiles = self.single_gemm_cycles(gemm)
+        reads = writes = 0
+        for tile in self.tiles(gemm):
+            r, w = self.tile_sram_traffic(tile)
+            reads += r
+            writes += w
+        return GemmStats(
+            gemm=gemm,
+            engine=self.name,
+            compute_cycles=cycles * gemm.count,
+            macs=gemm.macs,
+            peak_macs_per_cycle=self.config.peak_macs_per_cycle,
+            tiles=tiles * gemm.count,
+            sram_read_bytes=reads * gemm.count,
+            sram_write_bytes=writes * gemm.count,
+        )
+
+    def utilization(self, gemm: Gemm) -> float:
+        """FLOPS utilization for ``gemm`` on this engine."""
+        return self.gemm_stats(gemm).utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cfg = self.config
+        return f"{type(self).__name__}({cfg.height}x{cfg.width}@{cfg.frequency_hz/1e6:.0f}MHz)"

@@ -1,0 +1,158 @@
+"""Analytical GPU GEMM performance model (V100 / A100, Section VI-D).
+
+The paper measures JAX with auto-vectorization on V100/A100, with and
+without Tensor Cores.  We model a batched GEMM (the ``vmap`` product:
+``count`` independent multiplications fused into one kernel) as a grid
+of threadblock tiles spread over the SMs, with three candidate kernels
+per GEMM — mirroring library heuristics that pick the best
+implementation per shape:
+
+* a Tensor-Core kernel with large (128x128) tiles and a K quantum;
+* a SIMT (CUDA-core) kernel with medium (32x32) tiles;
+* a fine-grained SIMD kernel with tiny (8x8) tiles — the "mapping small
+  GEMMs across SIMD vector units" path that lets GPUs win on MobileNet
+  (Section VI-D).
+
+Each kernel's time is ``max(compute, DRAM traffic)`` plus one launch
+overhead (vectorization fuses the batch into a single launch).  The
+compute term pays tile padding, wave quantization and a K-granularity
+penalty — the mechanisms that starve GPUs on DP-SGD's irregular GEMMs
+despite their huge peak throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.gemms import Gemm
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """One candidate kernel implementation."""
+
+    tile_m: int
+    tile_n: int
+    k_quantum: int
+    #: Achievable fraction of the unit's peak in the steady-state
+    #: main loop (library kernels do not reach theoretical peak).
+    efficiency: float
+    #: Whether the kernel runs on Tensor Cores (else CUDA cores).
+    tensor_core: bool
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """GPU device parameters."""
+
+    name: str
+    sms: int
+    tensor_peak_flops: float
+    simt_peak_flops: float
+    dram_bandwidth_bytes_per_s: float
+    dram_bytes: int
+    #: Per-op dispatch overhead (kernel launch + framework/XLA runtime).
+    kernel_launch_seconds: float = 10e-6
+    input_bytes: int = 2
+    acc_bytes: int = 4
+
+
+#: NVIDIA V100 (32 GB, 900 GB/s; 125 TFLOPS FP16 TC / 15.7 TFLOPS FP32).
+V100 = GpuConfig(
+    name="V100",
+    sms=80,
+    tensor_peak_flops=125e12,
+    simt_peak_flops=15.7e12,
+    dram_bandwidth_bytes_per_s=900e9,
+    dram_bytes=32 * 2**30,
+)
+
+#: NVIDIA A100 (40 GB, 1555 GB/s; 312 TFLOPS FP16 TC / 19.5 TFLOPS FP32).
+A100 = GpuConfig(
+    name="A100",
+    sms=108,
+    tensor_peak_flops=312e12,
+    simt_peak_flops=19.5e12,
+    dram_bandwidth_bytes_per_s=1555e9,
+    dram_bytes=40 * 2**30,
+)
+
+# Steady-state efficiencies are calibrated for the *strided batched*
+# GEMMs a vmapped DP-SGD emits (per-example gradients): library kernels
+# on such shapes reach well below the dense-GEMM fraction of peak
+# (cf. Subramani et al., NeurIPS'21, on JAX DP-SGD throughput).
+_TENSOR_KERNELS = (
+    KernelShape(tile_m=128, tile_n=128, k_quantum=32, efficiency=0.32,
+                tensor_core=True),
+    KernelShape(tile_m=64, tile_n=64, k_quantum=32, efficiency=0.22,
+                tensor_core=True),
+)
+_SIMT_KERNELS = (
+    KernelShape(tile_m=32, tile_n=32, k_quantum=8, efficiency=0.45,
+                tensor_core=False),
+    KernelShape(tile_m=8, tile_n=8, k_quantum=4, efficiency=0.22,
+                tensor_core=False),
+)
+
+
+class GpuModel:
+    """Latency model for batched GEMMs on an NVIDIA GPU."""
+
+    def __init__(self, config: GpuConfig, tensor_cores: bool = True) -> None:
+        self.config = config
+        self.tensor_cores = tensor_cores
+
+    @property
+    def name(self) -> str:
+        dtype = "FP16" if self.tensor_cores else "FP32"
+        return f"{self.config.name} ({dtype})"
+
+    @property
+    def peak_flops(self) -> float:
+        if self.tensor_cores:
+            return self.config.tensor_peak_flops
+        return self.config.simt_peak_flops
+
+    def _kernels(self) -> tuple[KernelShape, ...]:
+        if self.tensor_cores:
+            return _TENSOR_KERNELS + _SIMT_KERNELS
+        return _SIMT_KERNELS
+
+    def _kernel_compute_seconds(self, gemm: Gemm, kernel: KernelShape) -> float:
+        cfg = self.config
+        peak = (cfg.tensor_peak_flops if kernel.tensor_core
+                else cfg.simt_peak_flops)
+        tiles = (math.ceil(gemm.m / kernel.tile_m)
+                 * math.ceil(gemm.n / kernel.tile_n)
+                 * gemm.count)
+        waves = math.ceil(tiles / cfg.sms)
+        padded_k = math.ceil(gemm.k / kernel.k_quantum) * kernel.k_quantum
+        tile_flops = 2.0 * kernel.tile_m * kernel.tile_n * padded_k
+        per_sm_flops = peak / cfg.sms * kernel.efficiency
+        return waves * tile_flops / per_sm_flops
+
+    def _memory_seconds(self, gemm: Gemm, write_output: bool) -> float:
+        cfg = self.config
+        num_bytes = (gemm.lhs_elems + gemm.rhs_elems) * cfg.input_bytes
+        if write_output:
+            num_bytes += gemm.out_elems * cfg.acc_bytes
+        return num_bytes / cfg.dram_bandwidth_bytes_per_s
+
+    def gemm_seconds(self, gemm: Gemm, write_output: bool = True) -> float:
+        """Latency of a batched GEMM (best candidate kernel)."""
+        compute = min(
+            self._kernel_compute_seconds(gemm, kernel)
+            for kernel in self._kernels()
+        )
+        memory = self._memory_seconds(gemm, write_output)
+        return max(compute, memory) + self.config.kernel_launch_seconds
+
+    def effective_flops(self, gemm: Gemm) -> float:
+        """Achieved FLOP/s on ``gemm``."""
+        return gemm.flops / self.gemm_seconds(gemm)
+
+    def gemms_seconds(self, gemms: list[Gemm],
+                      write_output: bool = True) -> float:
+        """Total latency of a GEMM sequence."""
+        return sum(self.gemm_seconds(g, write_output) for g in gemms)

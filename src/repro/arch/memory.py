@@ -1,0 +1,72 @@
+"""Off-chip memory (HBM) and on-chip SRAM models.
+
+The DRAM model is a bandwidth/latency abstraction matching Table II
+(450 GB/s over 16 channels, 100-cycle access latency); GEMM DMA is
+double-buffered so a transfer's cost is overlapped against compute by
+the caller (``max(compute, transfer)``), with the access latency paid
+once per transfer as an exposed startup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory subsystem parameters (Table II defaults)."""
+
+    bandwidth_bytes_per_s: float = 450e9
+    access_latency_cycles: int = 100
+    channels: int = 16
+    sram_bytes: int = 16 * 2**20
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.sram_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+
+
+class MemorySystem:
+    """Converts DRAM byte counts into engine-clock cycle counts."""
+
+    def __init__(self, config: MemoryConfig | None = None,
+                 frequency_hz: float = 940e6) -> None:
+        self.config = config or MemoryConfig()
+        self.frequency_hz = frequency_hz
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per engine clock."""
+        return self.config.bandwidth_bytes_per_s / self.frequency_hz
+
+    def transfer_cycles(self, num_bytes: int | float) -> int:
+        """Cycles to move ``num_bytes`` to/from DRAM (0 bytes -> 0 cycles).
+
+        Includes the access latency, exposed once per isolated transfer.
+        """
+        if num_bytes <= 0:
+            return 0
+        return (self.streaming_cycles(num_bytes)
+                + self.config.access_latency_cycles)
+
+    def streaming_cycles(self, num_bytes: int | float) -> int:
+        """Bandwidth-only cycles, for back-to-back pipelined transfers.
+
+        The DMA engine keeps many requests in flight across the 16
+        channels, so consecutive transfers hide each other's access
+        latency; only the streaming time occupies the engine.
+        """
+        if num_bytes <= 0:
+            return 0
+        return math.ceil(num_bytes / self.bytes_per_cycle)
+
+    def seconds(self, num_bytes: int | float) -> float:
+        """Wall-clock seconds for a transfer of ``num_bytes``."""
+        return self.transfer_cycles(num_bytes) / self.frequency_hz
+
+    def fits_in_sram(self, num_bytes: int | float) -> bool:
+        """Whether a tensor fits in the on-chip SRAM buffer."""
+        return num_bytes <= self.config.sram_bytes

@@ -1,0 +1,57 @@
+"""TPU-style vector processing unit.
+
+Google TPUv3 pairs its systolic MXU with a vector processor (128 lanes
+x 8 sublanes) that handles element-wise math and — on the baseline —
+the DP-SGD gradient post-processing: squaring/summing for norms,
+clipping scales, reduction across examples and noise addition
+(Section III-C).  Reductions are awkward on a SIMD vector unit: they
+need ``O(log)`` permute/add passes, modeled by
+``reduction_overhead_factor``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VectorUnitConfig:
+    """Vector unit parameters (TPUv3-like defaults)."""
+
+    lanes: int = 128
+    sublanes: int = 8
+    frequency_hz: float = 940e6
+    #: Multiplier on op counts for cross-lane reductions (vector
+    #: permute + add iterations, Section IV-C).
+    reduction_overhead_factor: float = 2.0
+
+    @property
+    def ops_per_cycle(self) -> int:
+        return self.lanes * self.sublanes
+
+
+class VectorUnit:
+    """Latency model for element-wise and reduction vector kernels."""
+
+    def __init__(self, config: VectorUnitConfig | None = None) -> None:
+        self.config = config or VectorUnitConfig()
+
+    def elementwise_cycles(self, elems: int, ops_per_elem: float = 1.0) -> int:
+        """Cycles for a pure element-wise kernel over ``elems`` values."""
+        if elems <= 0:
+            return 0
+        total_ops = elems * ops_per_elem
+        return math.ceil(total_ops / self.config.ops_per_cycle)
+
+    def reduction_cycles(self, elems: int, ops_per_elem: float = 1.0) -> int:
+        """Cycles to reduce ``elems`` values to one scalar.
+
+        ``ops_per_elem`` covers any per-element preprocessing (e.g. the
+        squaring step of an L2 norm costs one extra multiply).
+        """
+        if elems <= 0:
+            return 0
+        total_ops = elems * (ops_per_elem
+                             * self.config.reduction_overhead_factor)
+        return math.ceil(total_ops / self.config.ops_per_cycle)

@@ -1,0 +1,46 @@
+"""DiVa configuration (Table II) and accelerator factory inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.engine import ArrayConfig
+from repro.arch.memory import MemoryConfig
+from repro.arch.vector import VectorUnitConfig
+from repro.core.ppu import PpuConfig
+
+
+@dataclass(frozen=True)
+class DivaConfig:
+    """Complete DiVa / baseline configuration bundle.
+
+    Defaults reproduce Table II: a 128x128 PE array at 940 MHz, 16 MB
+    of on-chip SRAM, 16 memory channels at 450 GB/s aggregate with
+    100-cycle access latency, and a PPU of 8 adder trees matched to the
+    8-rows/clock drain rate.
+    """
+
+    array: ArrayConfig = field(default_factory=ArrayConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    vector: VectorUnitConfig = field(default_factory=VectorUnitConfig)
+    ppu: PpuConfig = field(default_factory=PpuConfig)
+
+    def __post_init__(self) -> None:
+        if self.ppu.tree_width < self.array.width:
+            raise ValueError(
+                "PPU tree width must cover one PE-array row "
+                f"({self.ppu.tree_width} < {self.array.width})"
+            )
+
+    def table2(self) -> dict[str, str]:
+        """Render the Table II rows from the live configuration."""
+        array = self.array
+        mem = self.memory
+        return {
+            "PE array dimension": f"{array.height} x {array.width}",
+            "PE operating frequency": f"{array.frequency_hz / 1e6:.0f} MHz",
+            "On-chip SRAM size": f"{mem.sram_bytes / 2**20:.0f} MB",
+            "Number of memory channels": str(mem.channels),
+            "Memory bandwidth": f"{mem.bandwidth_bytes_per_s / 1e9:.0f} GB/sec",
+            "Memory access latency": f"{mem.access_latency_cycles} cycles",
+        }

@@ -1,0 +1,81 @@
+"""Functional NumPy DP-SGD substrate (Algorithm 1) with RDP accounting."""
+
+from repro.dpml.accountant import (
+    DEFAULT_ORDERS,
+    RdpAccountant,
+    compute_rdp,
+    noise_multiplier_for_epsilon,
+    rdp_sampled_gaussian,
+    rdp_to_epsilon,
+)
+from repro.dpml.data import (
+    Dataset,
+    synthetic_classification,
+    synthetic_images,
+    synthetic_sequences,
+)
+from repro.dpml.dpsgd import (
+    DpSgdOptimizer,
+    PrivacyParams,
+    StepResult,
+    clip_scales,
+)
+from repro.dpml.extras import Embedding, LayerNorm, MaxPool2D
+from repro.dpml.microbatch import MicrobatchDpSgdOptimizer
+from repro.dpml.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MeanOverTime,
+    Module,
+    ReLU,
+    SeqDense,
+    Sequential,
+    col2im,
+    im2col,
+)
+from repro.dpml.loss import accuracy, softmax, softmax_cross_entropy
+from repro.dpml.modes import GradMode
+from repro.dpml.recurrent import LSTM
+from repro.dpml.train import TrainingHistory, evaluate, train_dpsgd
+
+__all__ = [
+    "GradMode",
+    "Module",
+    "Dense",
+    "SeqDense",
+    "Conv2D",
+    "ReLU",
+    "Flatten",
+    "AvgPool2D",
+    "MaxPool2D",
+    "MeanOverTime",
+    "LSTM",
+    "Embedding",
+    "LayerNorm",
+    "Sequential",
+    "im2col",
+    "col2im",
+    "softmax",
+    "softmax_cross_entropy",
+    "accuracy",
+    "PrivacyParams",
+    "DpSgdOptimizer",
+    "MicrobatchDpSgdOptimizer",
+    "StepResult",
+    "clip_scales",
+    "RdpAccountant",
+    "compute_rdp",
+    "rdp_sampled_gaussian",
+    "rdp_to_epsilon",
+    "noise_multiplier_for_epsilon",
+    "DEFAULT_ORDERS",
+    "Dataset",
+    "synthetic_classification",
+    "synthetic_images",
+    "synthetic_sequences",
+    "TrainingHistory",
+    "train_dpsgd",
+    "evaluate",
+]

@@ -1,0 +1,155 @@
+"""Additional layers: Embedding, LayerNorm, MaxPool2D.
+
+These complete the coverage of the paper's workload families on the
+functional side: BERT-style models need embeddings and layer
+normalization (whose per-example gradients DP frameworks densify for
+norm derivation — the memory behaviour modeled in
+:mod:`repro.training.memory`), and CNNs use max pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpml.layers import Module
+from repro.dpml.modes import GradMode
+
+
+class Embedding(Module):
+    """Token-embedding lookup over (B, T) integer inputs.
+
+    The backward pass scatters output gradients into a dense gradient
+    table — mirroring how TF-Privacy/Opacus densify per-example
+    embedding gradients for clipping (Section III-A's memory story).
+    """
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.params["weight"] = rng.normal(0.0, 0.1, size=(vocab_size, dim))
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self._tokens: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        tokens = np.asarray(x)
+        if tokens.ndim != 2:
+            raise ValueError(f"expected (B, T) token ids, got {tokens.shape}")
+        if tokens.min() < 0 or tokens.max() >= self.vocab_size:
+            raise ValueError("token id out of range")
+        if train:
+            self._tokens = tokens
+        return self.params["weight"][tokens]
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._tokens is None:
+            raise RuntimeError("backward before forward")
+        tokens = self._tokens
+        batch = tokens.shape[0]
+        if mode is GradMode.BATCH:
+            table = np.zeros_like(self.params["weight"])
+            np.add.at(table, tokens.reshape(-1),
+                      grad.reshape(-1, self.dim))
+            self.grads["weight"] = table
+        else:
+            per_ex = np.zeros((batch,) + self.params["weight"].shape)
+            for b in range(batch):
+                np.add.at(per_ex[b], tokens[b], grad[b])
+            sq = np.einsum("bvd,bvd->b", per_ex, per_ex)
+            if mode is GradMode.PER_EXAMPLE:
+                self.per_example_grads["weight"] = per_ex
+                self.grads["weight"] = per_ex.sum(axis=0)
+            self.sq_norms = sq
+        # Token ids carry no gradient.
+        return np.zeros(tokens.shape + (1,))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis, with affine parameters."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.params["gamma"] = np.ones(dim)
+        self.params["beta"] = np.zeros(dim)
+        self.dim = dim
+        self.eps = eps
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mean) / np.sqrt(var + self.eps)
+        if train:
+            self._cache = (normed, np.sqrt(var + self.eps))
+        return normed * self.params["gamma"] + self.params["beta"]
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        normed, std = self._cache
+        # Reduce every axis except batch (0) and features (-1).
+        reduce_axes = tuple(range(1, grad.ndim - 1))
+        per_gamma = (grad * normed).sum(axis=reduce_axes) \
+            if reduce_axes else grad * normed
+        per_beta = grad.sum(axis=reduce_axes) if reduce_axes else grad
+        if mode is GradMode.BATCH:
+            self.grads["gamma"] = per_gamma.sum(axis=0)
+            self.grads["beta"] = per_beta.sum(axis=0)
+        else:
+            sq = (np.einsum("bd,bd->b", per_gamma, per_gamma)
+                  + np.einsum("bd,bd->b", per_beta, per_beta))
+            if mode is GradMode.PER_EXAMPLE:
+                self.per_example_grads["gamma"] = per_gamma
+                self.per_example_grads["beta"] = per_beta
+                self.grads["gamma"] = per_gamma.sum(axis=0)
+                self.grads["beta"] = per_beta.sum(axis=0)
+            self.sq_norms = sq
+        # Gradient through the normalization itself.
+        g = grad * self.params["gamma"]
+        n = self.dim
+        dx = (g - g.mean(axis=-1, keepdims=True)
+              - normed * (g * normed).mean(axis=-1, keepdims=True)) / std
+        return dx
+
+
+class MaxPool2D(Module):
+    """Max pooling with a square window over (B, C, H, W)."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        b, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        p = (h - k) // s + 1
+        q = (w - k) // s + 1
+        windows = np.empty((b, c, p, q, k * k), dtype=x.dtype)
+        for i in range(k):
+            for j in range(k):
+                windows[..., i * k + j] = x[:, :, i:i + s * p:s,
+                                            j:j + s * q:s]
+        argmax = windows.argmax(axis=-1)
+        if train:
+            self._cache = (argmax, x.shape)
+        return windows.max(axis=-1)
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        argmax, x_shape = self._cache
+        b, c, h, w = x_shape
+        k, s = self.kernel, self.stride
+        p, q = grad.shape[2], grad.shape[3]
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        for i in range(k):
+            for j in range(k):
+                mask = argmax == (i * k + j)
+                dx[:, :, i:i + s * p:s, j:j + s * q:s] += grad * mask
+        return dx

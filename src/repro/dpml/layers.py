@@ -1,0 +1,421 @@
+"""NumPy neural-network layers with per-example gradient support.
+
+This is the functional substrate behind the paper's Algorithm 1: every
+weight layer can derive (a) the standard per-batch gradient, (b) all
+``B`` per-example gradients (plain DP-SGD), or (c) only the per-example
+squared gradient *norms* via the ghost-norm identities (the reweighted
+DP-SGD(R) first pass of Lee & Kifer) — without materializing the
+gradients.
+
+The ghost-norm identities used:
+
+* rank-1 case (``Dense``): ``||x g^T||_F^2 = ||x||^2 ||g||^2``;
+* sequence case (``SeqDense`` / ``Conv2D`` via im2col):
+  ``||X^T G||_F^2 = sum_{t,t'} (X X^T)_{tt'} (G G^T)_{tt'}``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpml.modes import GradMode
+
+
+class Module(abc.ABC):
+    """Base class for all layers.
+
+    Weight layers populate :attr:`grads` (per-batch, summed over
+    examples), :attr:`per_example_grads` (mode ``PER_EXAMPLE``) and
+    :attr:`sq_norms` (modes ``PER_EXAMPLE`` and ``GHOST_NORM``) during
+    :meth:`backward`.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.per_example_grads: dict[str, np.ndarray] = {}
+        self.sq_norms: np.ndarray | None = None
+
+    @property
+    def has_params(self) -> bool:
+        return bool(self.params)
+
+    def param_count(self) -> int:
+        """Total learnable scalars."""
+        return sum(p.size for p in self.params.values())
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+
+    @abc.abstractmethod
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        """Backpropagate ``grad``; derive weight grads per ``mode``."""
+
+    def zero_grads(self) -> None:
+        """Drop all gradient state."""
+        self.grads = {}
+        self.per_example_grads = {}
+        self.sq_norms = None
+
+
+@dataclass
+class LinearKernelGrads:
+    """Weight-gradient products of one (X, G) sequence pair."""
+
+    batch_grad: np.ndarray | None = None
+    per_example: np.ndarray | None = None
+    sq_norms: np.ndarray | None = None
+
+
+def linear_kernel_grads(x_cols: np.ndarray, g_cols: np.ndarray,
+                        mode: GradMode) -> LinearKernelGrads:
+    """Weight-gradient derivation shared by all im2col-style kernels.
+
+    ``x_cols``: (B, T, K) inputs; ``g_cols``: (B, T, N) output
+    gradients.  ``T == 1`` recovers the plain MLP case; LSTM gate
+    matrices reuse this with T = sequence length.
+    """
+    out = LinearKernelGrads()
+    if mode is GradMode.BATCH:
+        out.batch_grad = np.einsum("btk,btn->kn", x_cols, g_cols)
+    elif mode is GradMode.PER_EXAMPLE:
+        per_w = np.einsum("btk,btn->bkn", x_cols, g_cols)
+        out.per_example = per_w
+        out.batch_grad = per_w.sum(axis=0)
+        out.sq_norms = np.einsum("bkn,bkn->b", per_w, per_w)
+    elif mode is GradMode.GHOST_NORM:
+        # ||X^T G||_F^2 = <X X^T, G G^T> per example — O(B T^2 (K+N))
+        # instead of materializing O(B K N) gradients.
+        xxt = np.einsum("btk,bsk->bts", x_cols, x_cols)
+        ggt = np.einsum("btn,bsn->bts", g_cols, g_cols)
+        out.sq_norms = np.einsum("bts,bts->b", xxt, ggt)
+    else:  # pragma: no cover - exhaustive enum
+        raise AssertionError(f"unhandled mode {mode}")
+    return out
+
+
+def _linear_kernel_backward(
+    module: Module,
+    x_cols: np.ndarray,
+    g_cols: np.ndarray,
+    mode: GradMode,
+    bias: bool,
+) -> None:
+    """Store :func:`linear_kernel_grads` results on ``module``."""
+    grads = linear_kernel_grads(x_cols, g_cols, mode)
+    if grads.batch_grad is not None:
+        module.grads["weight"] = grads.batch_grad
+    if grads.per_example is not None:
+        module.per_example_grads["weight"] = grads.per_example
+    sq = grads.sq_norms
+    if bias and mode is not GradMode.BATCH:
+        per_b = g_cols.sum(axis=1)
+        if mode is GradMode.PER_EXAMPLE:
+            module.per_example_grads["bias"] = per_b
+            module.grads["bias"] = per_b.sum(axis=0)
+        sq = sq + np.einsum("bn,bn->b", per_b, per_b)
+    elif bias:
+        module.grads["bias"] = g_cols.sum(axis=(0, 1))
+    if mode is not GradMode.BATCH:
+        module.sq_norms = sq
+
+
+class Dense(Module):
+    """Fully connected layer ``y = x W + b`` with x of shape (B, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["weight"] = rng.normal(
+            0.0, scale, size=(in_features, out_features))
+        self.bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._x = x
+        y = x @ self.params["weight"]
+        if self.bias:
+            y = y + self.params["bias"]
+        return y
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        x_cols = self._x[:, None, :]
+        g_cols = grad[:, None, :]
+        _linear_kernel_backward(self, x_cols, g_cols, mode, self.bias)
+        return grad @ self.params["weight"].T
+
+
+class SeqDense(Module):
+    """Position-wise linear layer over (B, T, in) sequences."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["weight"] = rng.normal(
+            0.0, scale, size=(in_features, out_features))
+        self.bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._x = x
+        y = x @ self.params["weight"]
+        if self.bias:
+            y = y + self.params["bias"]
+        return y
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        _linear_kernel_backward(self, self._x, grad, mode, self.bias)
+        return grad @ self.params["weight"].T
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Unfold (B, C, H, W) into (B, P*Q, C*kernel*kernel) patches."""
+    b, c, h, w = x.shape
+    p = (h + 2 * padding - kernel) // stride + 1
+    q = (w + 2 * padding - kernel) // stride + 1
+    if p <= 0 or q <= 0:
+        raise ValueError("convolution output collapsed to zero size")
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+    cols = np.empty((b, c, kernel, kernel, p, q), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            cols[:, :, i, j] = x_pad[:, :, i:i + stride * p:stride,
+                                     j:j + stride * q:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(b, p * q,
+                                                    c * kernel * kernel)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col`."""
+    b, c, h, w = x_shape
+    p = (h + 2 * padding - kernel) // stride + 1
+    q = (w + 2 * padding - kernel) // stride + 1
+    cols = cols.reshape(b, p, q, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    x_pad = np.zeros((b, c, h + 2 * padding, w + 2 * padding),
+                     dtype=cols.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            x_pad[:, :, i:i + stride * p:stride,
+                  j:j + stride * q:stride] += cols[:, :, i, j]
+    if padding:
+        return x_pad[:, :, padding:-padding, padding:-padding]
+    return x_pad
+
+
+class Conv2D(Module):
+    """2D convolution via im2col, with full per-example grad support."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, padding: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        k = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / k)
+        self.params["weight"] = rng.normal(0.0, scale,
+                                           size=(k, out_channels))
+        self.bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def _out_hw(self, h: int, w: int) -> tuple[int, int]:
+        p = (h + 2 * self.padding - self.kernel) // self.stride + 1
+        q = (w + 2 * self.padding - self.kernel) // self.stride + 1
+        return p, q
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        b, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        if train:
+            self._cols = cols
+            self._x_shape = x.shape
+        y = cols @ self.params["weight"]
+        if self.bias:
+            y = y + self.params["bias"]
+        p, q = self._out_hw(h, w)
+        return y.transpose(0, 2, 1).reshape(b, self.out_channels, p, q)
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward before forward")
+        b = grad.shape[0]
+        g_cols = grad.reshape(b, self.out_channels, -1).transpose(0, 2, 1)
+        _linear_kernel_backward(self, self._cols, g_cols, mode, self.bias)
+        dx_cols = g_cols @ self.params["weight"].T
+        return col2im(dx_cols, self._x_shape, self.kernel, self.stride,
+                      self.padding)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return grad * self._mask
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        return grad.reshape(self._shape)
+
+
+class AvgPool2D(Module):
+    """Average pooling with a square window."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        b, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        p = (h - k) // s + 1
+        q = (w - k) // s + 1
+        if train:
+            self._x_shape = x.shape
+        out = np.zeros((b, c, p, q), dtype=x.dtype)
+        for i in range(k):
+            for j in range(k):
+                out += x[:, :, i:i + s * p:s, j:j + s * q:s]
+        return out / (k * k)
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward before forward")
+        b, c, h, w = self._x_shape
+        k, s = self.kernel, self.stride
+        p, q = grad.shape[2], grad.shape[3]
+        dx = np.zeros(self._x_shape, dtype=grad.dtype)
+        share = grad / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, :, i:i + s * p:s, j:j + s * q:s] += share
+        return dx
+
+
+class MeanOverTime(Module):
+    """Average a (B, T, F) sequence over T — a simple sequence head."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._t: int | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, F), got {x.shape}")
+        if train:
+            self._t = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._t is None:
+            raise RuntimeError("backward before forward")
+        return np.repeat(grad[:, None, :], self._t, axis=1) / self._t
+
+
+class Sequential:
+    """An ordered stack of modules with whole-network backward modes."""
+
+    def __init__(self, layers: list[Module]) -> None:
+        self.layers = list(layers)
+
+    @property
+    def weight_layers(self) -> list[Module]:
+        return [layer for layer in self.layers if layer.has_params]
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.weight_layers)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad, mode=mode)
+        return grad
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def per_example_sq_norms(self) -> np.ndarray:
+        """Sum the per-layer squared norms into total per-example norms."""
+        totals: np.ndarray | None = None
+        for layer in self.weight_layers:
+            if layer.sq_norms is None:
+                raise RuntimeError(
+                    "per-example norms unavailable; run backward with "
+                    "PER_EXAMPLE or GHOST_NORM mode first"
+                )
+            totals = layer.sq_norms if totals is None \
+                else totals + layer.sq_norms
+        if totals is None:
+            raise RuntimeError("network has no weight layers")
+        return totals

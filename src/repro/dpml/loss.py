@@ -1,0 +1,53 @@
+"""Softmax cross-entropy with per-example gradients.
+
+DP-SGD needs *unaveraged* per-example loss gradients (the ``1/B``
+normalization happens after clipping and noising, Algorithm 1 line 24),
+so the backward result is one gradient row per example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for stability."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-example loss and per-example loss gradient.
+
+    Parameters
+    ----------
+    logits:
+        (B, classes) scores.
+    labels:
+        (B,) integer class labels.
+
+    Returns
+    -------
+    (losses, grads):
+        ``losses`` is (B,); ``grads`` is (B, classes), the gradient of
+        each example's *own* loss (not averaged over the batch).
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"expected (B, classes) logits, got {logits.shape}")
+    batch = logits.shape[0]
+    if labels.shape != (batch,):
+        raise ValueError(f"labels shape {labels.shape} != ({batch},)")
+    probs = softmax(logits)
+    picked = probs[np.arange(batch), labels]
+    losses = -np.log(np.clip(picked, 1e-12, None))
+    grads = probs.copy()
+    grads[np.arange(batch), labels] -= 1.0
+    return losses, grads
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    return float((logits.argmax(axis=-1) == labels).mean())

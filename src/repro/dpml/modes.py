@@ -1,0 +1,27 @@
+"""Gradient-derivation modes for the functional DP-SGD substrate.
+
+Algorithm 1 distinguishes three ways a backward pass may treat weight
+gradients; every :class:`repro.dpml.layers.Module` implements all three.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GradMode(enum.Enum):
+    """What a backward pass derives for each weight layer."""
+
+    #: Standard SGD: one per-batch gradient per layer (the sum over
+    #: examples).
+    BATCH = "batch"
+    #: Plain DP-SGD: materialize all ``B`` per-example gradients
+    #: (Algorithm 1, line 19).
+    PER_EXAMPLE = "per_example"
+    #: DP-SGD(R) first pass: derive only the per-example squared
+    #: gradient norms, via the "ghost norm" identities, without
+    #: materializing the gradients (Algorithm 1, line 31).
+    GHOST_NORM = "ghost_norm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,154 @@
+"""LSTM layer with per-example gradient and ghost-norm support.
+
+The paper's RNN benchmarks (LSTM-small/large, after the Opacus
+char-LSTM example) hinge on DP-SGD for recurrent layers.  An LSTM layer
+owns two weight matrices — input-hidden ``W_ih`` (I x 4H) and
+hidden-hidden ``W_hh`` (H x 4H) — whose weight gradients are exactly
+the "time-series MLP" products of Figure 6: sums over timesteps of
+outer products between the (cached) inputs and the gate pre-activation
+gradients.  That lets per-example gradients and ghost norms reuse the
+same sequence kernel as :class:`~repro.dpml.layers.SeqDense`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpml.layers import Module, linear_kernel_grads
+from repro.dpml.modes import GradMode
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class LSTM(Module):
+    """A single-layer LSTM over (B, T, input) sequences.
+
+    Returns the full hidden-state sequence (B, T, hidden).  Gates are
+    ordered (input, forget, cell, output) along the 4H axis.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.params["weight_ih"] = rng.uniform(
+            -scale, scale, size=(input_size, 4 * hidden_size))
+        self.params["weight_hh"] = rng.uniform(
+            -scale, scale, size=(hidden_size, 4 * hidden_size))
+        self.bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(4 * hidden_size)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected (B, T, {self.input_size}), got {x.shape}")
+        batch, seq_len, _ = x.shape
+        hidden = self.hidden_size
+        w_ih = self.params["weight_ih"]
+        w_hh = self.params["weight_hh"]
+        bias = self.params["bias"] if self.bias else 0.0
+
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        h_seq = np.zeros((batch, seq_len, hidden))
+        cache = {
+            "x": x,
+            "h_prev": np.zeros((batch, seq_len, hidden)),
+            "c_prev": np.zeros((batch, seq_len, hidden)),
+            "i": np.zeros((batch, seq_len, hidden)),
+            "f": np.zeros((batch, seq_len, hidden)),
+            "g": np.zeros((batch, seq_len, hidden)),
+            "o": np.zeros((batch, seq_len, hidden)),
+            "c": np.zeros((batch, seq_len, hidden)),
+        }
+        for t in range(seq_len):
+            cache["h_prev"][:, t] = h
+            cache["c_prev"][:, t] = c
+            z = x[:, t] @ w_ih + h @ w_hh + bias
+            i = _sigmoid(z[:, :hidden])
+            f = _sigmoid(z[:, hidden:2 * hidden])
+            g = np.tanh(z[:, 2 * hidden:3 * hidden])
+            o = _sigmoid(z[:, 3 * hidden:])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            h_seq[:, t] = h
+            for name, value in (("i", i), ("f", f), ("g", g), ("o", o),
+                                ("c", c)):
+                cache[name][:, t] = value
+        if train:
+            self._cache = cache
+        return h_seq
+
+    def backward(self, grad: np.ndarray,
+                 mode: GradMode = GradMode.BATCH) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, seq_len, _ = x.shape
+        hidden = self.hidden_size
+        w_ih = self.params["weight_ih"]
+        w_hh = self.params["weight_hh"]
+
+        dz_seq = np.zeros((batch, seq_len, 4 * hidden))
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
+        for t in range(seq_len - 1, -1, -1):
+            i = cache["i"][:, t]
+            f = cache["f"][:, t]
+            g = cache["g"][:, t]
+            o = cache["o"][:, t]
+            c = cache["c"][:, t]
+            c_prev = cache["c_prev"][:, t]
+            tanh_c = np.tanh(c)
+
+            dh = grad[:, t] + dh_next
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+            do = dh * tanh_c
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dz = np.concatenate([
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ], axis=1)
+            dz_seq[:, t] = dz
+            dx[:, t] = dz @ w_ih.T
+            dh_next = dz @ w_hh.T
+            dc_next = dc * f
+
+        # Both weight matrices are Figure 6 time-series products:
+        # W_ih pairs the input sequence with dz; W_hh pairs h_{t-1}.
+        ih = linear_kernel_grads(x, dz_seq, mode)
+        hh = linear_kernel_grads(cache["h_prev"], dz_seq, mode)
+        sq = None
+        if ih.batch_grad is not None:
+            self.grads["weight_ih"] = ih.batch_grad
+            self.grads["weight_hh"] = hh.batch_grad
+        if ih.per_example is not None:
+            self.per_example_grads["weight_ih"] = ih.per_example
+            self.per_example_grads["weight_hh"] = hh.per_example
+        if ih.sq_norms is not None:
+            sq = ih.sq_norms + hh.sq_norms
+        if self.bias:
+            per_b = dz_seq.sum(axis=1)
+            if mode is GradMode.BATCH:
+                self.grads["bias"] = per_b.sum(axis=0)
+            else:
+                if mode is GradMode.PER_EXAMPLE:
+                    self.per_example_grads["bias"] = per_b
+                    self.grads["bias"] = per_b.sum(axis=0)
+                sq = sq + np.einsum("bn,bn->b", per_b, per_b)
+        if mode is not GradMode.BATCH:
+            self.sq_norms = sq
+        return dx

@@ -1,0 +1,20 @@
+"""Energy, power and area models (Table III, Figure 16)."""
+
+from repro.energy.constants import (
+    AreaConstants,
+    MemoryEnergyConstants,
+    PowerConstants,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel, EngineProfile
+from repro.energy.sram import SramEstimate, estimate_sram
+
+__all__ = [
+    "PowerConstants",
+    "MemoryEnergyConstants",
+    "AreaConstants",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "EngineProfile",
+    "estimate_sram",
+    "SramEstimate",
+]

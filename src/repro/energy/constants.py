@@ -1,0 +1,64 @@
+"""Per-component power/energy/area constants (65 nm, Section V / Table III).
+
+The paper obtains these from Synopsys Design Compiler synthesis (compute
+units), CACTI (SRAM) and Horowitz's ISSCC'14 energy survey (DRAM).  We
+cannot run EDA tools offline, so each constant is a parameter of a
+component-level model *calibrated to the paper's published Table III
+values* and standard energy-per-operation references; DESIGN.md records
+this substitution.  Everything is expressed per operation or per byte so
+any array geometry can be priced, not only the 128x128 default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerConstants:
+    """Dynamic power at full activity, derived from Table III.
+
+    13.4 W for 16384 WS MACs at 940 MHz implies ~0.87 pJ per MAC-cycle;
+    the outer-product engine adds broadcast-bus switching (+7.8 W chip
+    total) and the PPU's 8x127 FP32 adders draw 2.6 W.
+    """
+
+    ws_mac_pj: float = 0.87
+    os_mac_pj: float = 0.883
+    outer_product_mac_pj: float = 0.87
+    #: Row/column broadcast-bus energy per PE per active cycle.
+    broadcast_pj: float = 0.506
+    #: One pipelined FP32 adder in the PPU tree, per cycle.
+    ppu_add_pj: float = 2.72
+    #: Vector unit lane energy per op.
+    vector_op_pj: float = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryEnergyConstants:
+    """Storage access energies (pJ/byte).
+
+    SRAM follows a CACTI-like large-array figure at 65 nm; DRAM uses a
+    Horowitz ISSCC'14 derived figure (~7.5 pJ/bit of interface +
+    array energy for HBM-class DRAM).
+    """
+
+    sram_pj_per_byte: float = 6.0
+    dram_pj_per_byte: float = 60.0
+
+
+@dataclass(frozen=True)
+class AreaConstants:
+    """Component areas (mm^2) at 65 nm, calibrated to Table III.
+
+    68 mm^2 for the 16384-PE WS array implies ~4150 um^2 per
+    BF16-multiply/FP32-add PE with its pipeline registers; the OS
+    accumulator adds ~120 um^2 per PE; the all-to-all broadcast buses
+    add ~17.6% of array area; each PPU adder is ~2950 um^2.
+    """
+
+    ws_pe_mm2: float = 68.0 / 16384
+    os_accumulator_mm2: float = 2.0 / 16384
+    #: Fractional wiring overhead of the row/column broadcast buses.
+    broadcast_bus_fraction: float = 12.0 / 68.0
+    ppu_adder_mm2: float = 3.0 / 1016

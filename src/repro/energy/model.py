@@ -1,0 +1,170 @@
+"""Area / power / energy models (Table III and Figure 16).
+
+Component-level accounting calibrated against the paper's synthesis
+results (see :mod:`repro.energy.constants`):
+
+* **Area**: per-PE MAC + registers, an OS accumulator increment, the
+  outer-product broadcast-bus wiring fraction and the PPU adder trees.
+* **Power**: full-activity dynamic power of each unit.
+* **Energy** (Figure 16): each unit burns its power for the cycles it
+  is busy (so poor utilization directly wastes energy), plus SRAM and
+  DRAM access energy per byte moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import OpRun
+from repro.arch.engine import ArrayConfig
+from repro.core.ppu import PpuConfig
+from repro.energy.constants import (
+    AreaConstants,
+    MemoryEnergyConstants,
+    PowerConstants,
+)
+from repro.training.simulate import TrainingReport
+
+_ENGINE_KINDS = ("ws", "os", "diva")
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """One column of Table III."""
+
+    name: str
+    macs: int
+    peak_tflops: float
+    power_w: float
+    area_mm2: float
+    effective_tflops: float | None = None
+
+    @property
+    def tflops_per_watt(self) -> float | None:
+        if self.effective_tflops is None:
+            return None
+        return self.effective_tflops / self.power_w
+
+    @property
+    def tflops_per_mm2(self) -> float | None:
+        if self.effective_tflops is None:
+            return None
+        return self.effective_tflops / self.area_mm2
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one training step, in joules."""
+
+    engine_j: float
+    ppu_j: float
+    vector_j: float
+    sram_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (self.engine_j + self.ppu_j + self.vector_j
+                + self.sram_j + self.dram_j)
+
+
+class EnergyModel:
+    """Prices areas, powers and training-step energies."""
+
+    def __init__(
+        self,
+        array: ArrayConfig | None = None,
+        ppu: PpuConfig | None = None,
+        power: PowerConstants | None = None,
+        memory: MemoryEnergyConstants | None = None,
+        area: AreaConstants | None = None,
+    ) -> None:
+        self.array = array or ArrayConfig()
+        self.ppu = ppu or PpuConfig()
+        self.power = power or PowerConstants()
+        self.memory = memory or MemoryEnergyConstants()
+        self.area = area or AreaConstants()
+
+    # -- power -----------------------------------------------------------
+    def engine_power_w(self, kind: str) -> float:
+        """Full-activity dynamic power of a GEMM engine."""
+        macs = self.array.peak_macs_per_cycle
+        freq = self.array.frequency_hz
+        pj = {
+            "ws": self.power.ws_mac_pj,
+            "os": self.power.os_mac_pj,
+            "diva": (self.power.outer_product_mac_pj
+                     + self.power.broadcast_pj),
+        }[self._check(kind)]
+        return macs * pj * 1e-12 * freq
+
+    def ppu_power_w(self) -> float:
+        """Full-activity dynamic power of the PPU adder trees."""
+        adders = self.ppu.num_trees * (self.ppu.tree_width - 1)
+        return adders * self.power.ppu_add_pj * 1e-12 * self.ppu.frequency_hz
+
+    # -- area ------------------------------------------------------------
+    def engine_area_mm2(self, kind: str) -> float:
+        """GEMM engine area (Table III row)."""
+        kind = self._check(kind)
+        pes = self.array.peak_macs_per_cycle
+        base = pes * self.area.ws_pe_mm2
+        if kind == "ws":
+            return base
+        with_acc = base + pes * self.area.os_accumulator_mm2
+        if kind == "os":
+            return with_acc
+        return with_acc * (1.0 + self.area.broadcast_bus_fraction)
+
+    def ppu_area_mm2(self) -> float:
+        """PPU area: ``num_trees`` trees of ``tree_width - 1`` adders."""
+        adders = self.ppu.num_trees * (self.ppu.tree_width - 1)
+        return adders * self.area.ppu_adder_mm2
+
+    # -- Table III ----------------------------------------------------------
+    def engine_profile(self, kind: str,
+                       effective_tflops: float | None = None) -> EngineProfile:
+        """Assemble one Table III column."""
+        kind = self._check(kind)
+        name = {"ws": "Systolic WS", "os": "Systolic OS",
+                "diva": "Outer-product"}[kind]
+        return EngineProfile(
+            name=name,
+            macs=self.array.peak_macs_per_cycle,
+            peak_tflops=self.array.peak_flops / 1e12,
+            power_w=self.engine_power_w(kind),
+            area_mm2=self.engine_area_mm2(kind),
+            effective_tflops=effective_tflops,
+        )
+
+    # -- energy --------------------------------------------------------------
+    def training_energy(self, report: TrainingReport,
+                        kind: str) -> EnergyBreakdown:
+        """Energy of one simulated training step (Figure 16)."""
+        kind = self._check(kind)
+        freq = self.array.frequency_hz
+        total: OpRun = report.total
+        engine_j = self.engine_power_w(kind) * total.compute_cycles / freq
+        ppu_j = 0.0
+        if report.with_ppu:
+            ppu_j = self.ppu_power_w() * total.ppu_cycles / freq
+        vector_lane_ops = total.vector_ops
+        vector_j = vector_lane_ops * self.power.vector_op_pj * 1e-12
+        sram_bytes = total.sram_read_bytes + total.sram_write_bytes
+        sram_j = sram_bytes * self.memory.sram_pj_per_byte * 1e-12
+        dram_j = total.dram_bytes * self.memory.dram_pj_per_byte * 1e-12
+        return EnergyBreakdown(
+            engine_j=engine_j,
+            ppu_j=ppu_j,
+            vector_j=vector_j,
+            sram_j=sram_j,
+            dram_j=dram_j,
+        )
+
+    @staticmethod
+    def _check(kind: str) -> str:
+        kind = kind.lower()
+        if kind not in _ENGINE_KINDS:
+            raise KeyError(f"unknown engine kind {kind!r}; "
+                           f"choose from {_ENGINE_KINDS}")
+        return kind

@@ -1,0 +1,57 @@
+"""CACTI-like on-chip SRAM area/energy estimator.
+
+A deliberately small model in the spirit of CACTI's outputs for large
+(multi-MB) SRAM macros at 65 nm: area scales linearly with capacity
+with a banking overhead, access energy grows with the square root of
+capacity (longer word/bit lines), and leakage scales with capacity.
+Used for the chip-level context of Table III and the SRAM term of the
+Figure 16 energy model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SramEstimate:
+    """Estimated characteristics of an SRAM macro."""
+
+    capacity_bytes: int
+    area_mm2: float
+    read_pj_per_byte: float
+    write_pj_per_byte: float
+    leakage_mw: float
+
+
+def estimate_sram(
+    capacity_bytes: int,
+    bank_bytes: int = 2 * 2**20,
+    density_mm2_per_mb: float = 2.4,
+    base_access_pj_per_byte: float = 1.5,
+    leakage_mw_per_mb: float = 18.0,
+) -> SramEstimate:
+    """Estimate a banked SRAM at 65 nm.
+
+    Parameters follow published CACTI 6.5 figures for 65 nm SRAM:
+    ~2.4 mm^2 per MB density and access energy rising roughly with the
+    square root of the bank size.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    banks = max(1, math.ceil(capacity_bytes / bank_bytes))
+    bank_capacity = capacity_bytes / banks
+    megabytes = capacity_bytes / 2**20
+    # Wordline/bitline energy grows ~sqrt(bank capacity); normalize so a
+    # 2 MB bank costs ~6 pJ/byte (the Figure 16 constant).
+    scale = math.sqrt(bank_capacity / (2 * 2**20))
+    access_pj = base_access_pj_per_byte * (1.0 + 3.0 * scale)
+    area = megabytes * density_mm2_per_mb * 1.08  # banking overhead
+    return SramEstimate(
+        capacity_bytes=capacity_bytes,
+        area_mm2=area,
+        read_pj_per_byte=access_pj,
+        write_pj_per_byte=access_pj * 1.1,
+        leakage_mw=megabytes * leakage_mw_per_mb,
+    )

@@ -1,0 +1,61 @@
+"""Experiment harness: one module per paper figure/table.
+
+==================  ==========================================
+Module              Reproduces
+==================  ==========================================
+``fig04_memory``    Figure 4 (memory breakdown)
+``fig05_breakdown`` Figure 5 (WS training-time breakdown)
+``fig07_utilization`` Figure 7 (WS FLOPS utilization)
+``fig13_speedup``   Figure 13 (end-to-end speedup)
+``fig14_breakdown`` Figure 14 (DP latency breakdown)
+``fig15_flops``     Figure 15 (utilization improvement)
+``fig16_energy``    Figure 16 (energy)
+``fig17_gpu``       Figure 17 (vs V100/A100)
+``table1_bandwidth`` Table I (SRAM bandwidth)
+``table3_area_power`` Table III (power/area/TFLOPS)
+``sensitivity``     Section VI-C (image/sequence scaling)
+``maxbatch``        Section III-A (max mini-batch)
+``ppu_traffic``     Section I/IV-C (99% traffic reduction)
+==================  ==========================================
+
+Each module exposes ``run()`` returning structured results and
+``render()`` returning the paper-style text table.
+"""
+
+from repro.experiments import (
+    ablation,
+    fig04_memory,
+    gemm_sweep,
+    fig05_breakdown,
+    fig07_utilization,
+    fig13_speedup,
+    fig14_breakdown,
+    fig15_flops,
+    fig16_energy,
+    fig17_gpu,
+    maxbatch,
+    ppu_traffic,
+    sensitivity,
+    table1_bandwidth,
+    table3_area_power,
+)
+
+ALL_EXPERIMENTS = {
+    "fig04": fig04_memory,
+    "fig05": fig05_breakdown,
+    "fig07": fig07_utilization,
+    "fig13": fig13_speedup,
+    "fig14": fig14_breakdown,
+    "fig15": fig15_flops,
+    "fig16": fig16_energy,
+    "fig17": fig17_gpu,
+    "table1": table1_bandwidth,
+    "table3": table3_area_power,
+    "sensitivity": sensitivity,
+    "maxbatch": maxbatch,
+    "ppu_traffic": ppu_traffic,
+    "ablation": ablation,
+    "gemm_sweep": gemm_sweep,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

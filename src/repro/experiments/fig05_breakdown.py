@@ -1,0 +1,93 @@
+"""Figure 5: training-time breakdown on the TPUv3-like WS baseline.
+
+Paper result: DP-SGD / DP-SGD(R) average 9.1x / 5.8x slower than SGD;
+backpropagation reaches ~99% of DP training time; DP-SGD(R) outperforms
+DP-SGD by ~31% despite its second backpropagation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import all_models, default_batch, simulate
+from repro.experiments.report import format_table, mean
+from repro.training import PHASE_ORDER, Algorithm, TrainingReport
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One stacked bar of Figure 5."""
+
+    model: str
+    algorithm: Algorithm
+    batch: int
+    report: TrainingReport
+    #: Total latency normalized to the same model's SGD latency.
+    normalized_total: float
+
+
+def run(models: tuple[str, ...] | None = None) -> list[Fig5Row]:
+    """Simulate every Figure 5 bar (WS baseline, max-DP-SGD batch)."""
+    rows: list[Fig5Row] = []
+    for name in models or all_models():
+        sgd = simulate(name, Algorithm.SGD, "ws", False)
+        for algorithm in Algorithm:
+            report = simulate(name, algorithm, "ws", False)
+            rows.append(Fig5Row(
+                model=name,
+                algorithm=algorithm,
+                batch=report.batch,
+                report=report,
+                normalized_total=report.total_seconds / sgd.total_seconds,
+            ))
+    return rows
+
+
+def summarize(rows: list[Fig5Row]) -> dict[str, float]:
+    """Aggregates quoted in Section III-B."""
+    dp = [r for r in rows if r.algorithm is Algorithm.DP_SGD]
+    dp_r = [r for r in rows if r.algorithm is Algorithm.DP_SGD_R]
+    return {
+        "dp_sgd_slowdown": mean([r.normalized_total for r in dp]),
+        "dp_sgd_r_slowdown": mean([r.normalized_total for r in dp_r]),
+        "dp_backprop_fraction": mean(
+            [r.report.backprop_fraction for r in dp]),
+        "dp_sgd_r_vs_dp_sgd": mean([
+            1.0 - r2.normalized_total / r1.normalized_total
+            for r1, r2 in zip(dp, dp_r)
+        ]),
+    }
+
+
+def render(rows: list[Fig5Row] | None = None) -> str:
+    """Figure 5 as a text table (per-phase latency, normalized to SGD)."""
+    rows = rows or run()
+    headers = ["Model", "Algorithm"] + [str(p) for p in PHASE_ORDER] + [
+        "Total (norm.)"]
+    table_rows = []
+    for r in rows:
+        sgd_total = r.report.total_seconds / r.normalized_total
+        phase_cells = [
+            r.report.phase_seconds(p) / sgd_total for p in PHASE_ORDER
+        ]
+        table_rows.append([r.model, str(r.algorithm)] + phase_cells
+                          + [r.normalized_total])
+    table = format_table(headers, table_rows,
+                         title="Figure 5: training-time breakdown "
+                               "(normalized to SGD)")
+    stats = summarize(rows)
+    footer = (
+        f"\nDP-SGD slowdown vs SGD (avg): {stats['dp_sgd_slowdown']:.1f}x "
+        f"(paper: 9.1x)"
+        f"\nDP-SGD(R) slowdown vs SGD (avg): "
+        f"{stats['dp_sgd_r_slowdown']:.1f}x (paper: 5.8x)"
+        f"\nDP backprop fraction (avg): "
+        f"{stats['dp_backprop_fraction'] * 100:.1f}% (paper: ~99%)"
+        f"\nDP-SGD(R) faster than DP-SGD by (avg): "
+        f"{stats['dp_sgd_r_vs_dp_sgd'] * 100:.0f}% (paper: 31%)"
+    )
+    return table + footer
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

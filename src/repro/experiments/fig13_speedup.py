@@ -1,0 +1,108 @@
+"""Figure 13: end-to-end speedup vs the WS systolic baseline.
+
+Paper result: DiVa (with PPU) averages 3.6x (max 7.3x) over WS on
+DP-SGD(R); DiVa's DP training reaches ~75% of non-private WS-SGD
+performance (and beats it on MobileNet / LSTM-large); DiVa also trains
+non-private SGD ~1.6x faster than WS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DESIGN_POINTS, all_models, simulate
+from repro.experiments.report import format_table, geomean, mean
+from repro.training import Algorithm
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """All Figure 13 bars for one model (speedups vs WS DP-SGD(R))."""
+
+    model: str
+    batch: int
+    #: label -> speedup over the WS DP-SGD(R) baseline.
+    dp_speedups: dict[str, float]
+    #: Non-private SGD speedups over WS *DP-SGD(R)* (the figure's
+    #: comparison points): {"WS": ..., "DiVa": ...}.
+    sgd_speedups: dict[str, float]
+
+    @property
+    def diva_vs_ws(self) -> float:
+        """DiVa-with-PPU speedup over WS (the headline number)."""
+        return self.dp_speedups["DiVa with PPU"]
+
+    @property
+    def dp_vs_nonprivate(self) -> float:
+        """DiVa DP-SGD(R) performance relative to WS non-private SGD."""
+        return self.dp_speedups["DiVa with PPU"] / self.sgd_speedups["WS"]
+
+
+def run(models: tuple[str, ...] | None = None) -> list[Fig13Row]:
+    """Simulate every Figure 13 bar."""
+    rows: list[Fig13Row] = []
+    for name in models or all_models():
+        base = simulate(name, Algorithm.DP_SGD_R, "ws", False)
+        dp = {}
+        for label, kind, with_ppu in DESIGN_POINTS:
+            report = simulate(name, Algorithm.DP_SGD_R, kind, with_ppu)
+            dp[label] = base.total_seconds / report.total_seconds
+        sgd_ws = simulate(name, Algorithm.SGD, "ws", False)
+        sgd_diva = simulate(name, Algorithm.SGD, "diva", True)
+        rows.append(Fig13Row(
+            model=name,
+            batch=base.batch,
+            dp_speedups=dp,
+            sgd_speedups={
+                "WS": base.total_seconds / sgd_ws.total_seconds,
+                "DiVa": base.total_seconds / sgd_diva.total_seconds,
+            },
+        ))
+    return rows
+
+
+def summarize(rows: list[Fig13Row]) -> dict[str, float]:
+    """Aggregates quoted in Section VI-A."""
+    diva = [r.diva_vs_ws for r in rows]
+    return {
+        "diva_speedup_avg": mean(diva),
+        "diva_speedup_geomean": geomean(diva),
+        "diva_speedup_max": max(diva),
+        "dp_vs_nonprivate_avg": mean([r.dp_vs_nonprivate for r in rows]),
+        "diva_sgd_speedup_avg": mean([
+            r.sgd_speedups["DiVa"] / r.sgd_speedups["WS"] for r in rows
+        ]),
+    }
+
+
+def render(rows: list[Fig13Row] | None = None) -> str:
+    """Figure 13 as a text table."""
+    rows = rows or run()
+    labels = [label for label, _, _ in DESIGN_POINTS]
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [r.model, r.batch]
+            + [r.dp_speedups[label] for label in labels]
+            + [r.sgd_speedups["WS"], r.sgd_speedups["DiVa"]]
+        )
+    table = format_table(
+        ["Model", "B"] + [f"DP {label}" for label in labels]
+        + ["SGD WS", "SGD DiVa"],
+        table_rows,
+        title="Figure 13: speedup vs WS systolic (baseline: WS DP-SGD(R))",
+    )
+    stats = summarize(rows)
+    footer = (
+        f"\nDiVa speedup over WS (avg): {stats['diva_speedup_avg']:.1f}x "
+        f"(paper: 3.6x), max {stats['diva_speedup_max']:.1f}x (paper: 7.3x)"
+        f"\nDiVa DP vs WS non-private SGD (avg): "
+        f"{stats['dp_vs_nonprivate_avg'] * 100:.0f}% (paper: 75%)"
+        f"\nDiVa-SGD vs WS-SGD (avg): "
+        f"{stats['diva_sgd_speedup_avg']:.1f}x (paper: 1.6x)"
+    )
+    return table + footer
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

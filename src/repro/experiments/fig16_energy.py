@@ -1,0 +1,91 @@
+"""Figure 16: training-step energy, normalized to the WS baseline.
+
+Paper result: DiVa reduces energy by 2.6x on average (max 4.6x) — its
+higher engine power is outweighed by the shorter training time and the
+eliminated per-example-gradient DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy import EnergyBreakdown, EnergyModel
+from repro.experiments.common import (
+    DESIGN_POINTS,
+    DETAIL_MODELS,
+    all_models,
+    simulate,
+)
+from repro.experiments.report import format_table, mean
+from repro.training import Algorithm
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    """One energy bar (model x design point)."""
+
+    model: str
+    design: str
+    energy: EnergyBreakdown
+    #: Total energy normalized to the same model's WS bar.
+    normalized_total: float
+
+
+def run(models: tuple[str, ...] = DETAIL_MODELS,
+        model_override: EnergyModel | None = None) -> list[Fig16Row]:
+    """Compute every Figure 16 bar."""
+    energy_model = model_override or EnergyModel()
+    rows: list[Fig16Row] = []
+    for name in models:
+        base_report = simulate(name, Algorithm.DP_SGD_R, "ws", False)
+        base = energy_model.training_energy(base_report, "ws").total_j
+        for label, kind, with_ppu in DESIGN_POINTS:
+            report = simulate(name, Algorithm.DP_SGD_R, kind, with_ppu)
+            energy = energy_model.training_energy(report, kind)
+            rows.append(Fig16Row(
+                model=name,
+                design=label,
+                energy=energy,
+                normalized_total=energy.total_j / base,
+            ))
+    return rows
+
+
+def summarize(models: tuple[str, ...] | None = None) -> dict[str, float]:
+    """Section VI-B aggregate over all nine models."""
+    rows = run(models or all_models())
+    diva = [1.0 / r.normalized_total for r in rows
+            if r.design == "DiVa with PPU"]
+    return {
+        "diva_energy_reduction_avg": mean(diva),
+        "diva_energy_reduction_max": max(diva),
+    }
+
+
+def render(rows: list[Fig16Row] | None = None) -> str:
+    """Figure 16 as a text table."""
+    rows = rows or run()
+    table_rows = []
+    for r in rows:
+        e = r.energy
+        table_rows.append([
+            r.model, r.design, e.engine_j, e.ppu_j, e.vector_j, e.sram_j,
+            e.dram_j, e.total_j, r.normalized_total,
+        ])
+    table = format_table(
+        ["Model", "Design", "Engine(J)", "PPU(J)", "Vector(J)", "SRAM(J)",
+         "DRAM(J)", "Total(J)", "Norm. vs WS"],
+        table_rows,
+        title="Figure 16: energy consumption (normalized to WS)",
+    )
+    stats = summarize()
+    footer = (
+        f"\nDiVa energy reduction (avg over all models): "
+        f"{stats['diva_energy_reduction_avg']:.1f}x (paper: 2.6x), "
+        f"max {stats['diva_energy_reduction_max']:.1f}x (paper: 4.6x)"
+    )
+    return table + footer
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

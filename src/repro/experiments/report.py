@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment module renders its results as aligned text tables so
+``python -m repro.experiments.<fig>`` or the benchmark harness can print
+the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the standard for speedup aggregation)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ValueError("geomean needs positive values")
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

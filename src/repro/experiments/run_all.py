@@ -1,0 +1,34 @@
+"""Regenerate every paper table and figure in one run.
+
+Run:
+    python -m repro.experiments.run_all
+
+Prints the text rendering of all thirteen experiments, in paper order.
+This is the human-readable counterpart of ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+_ORDER = ("maxbatch", "fig04", "fig05", "fig07", "table1", "fig13",
+          "fig14", "fig15", "fig16", "table3", "fig17", "sensitivity",
+          "ppu_traffic")
+
+
+def main() -> None:
+    for key in _ORDER:
+        module = ALL_EXPERIMENTS[key]
+        start = time.perf_counter()
+        text = module.render()
+        elapsed = time.perf_counter() - start
+        banner = f"=== {key} ({elapsed:.1f}s) ==="
+        print(banner)
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Section VI-C sensitivity: larger images and longer sequences.
+
+Paper result: scaling CNN inputs by 4x/16x/64x pixels shrinks DiVa's
+advantage from 3.6x to 2.1x/1.7x (bigger GEMMs populate the systolic
+array better); scaling sequence length 2x/4x/8x similarly yields
+2.0x/1.6x/1.5x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import build_accelerator
+from repro.experiments.report import format_table, mean
+from repro.training import Algorithm, max_batch_size, simulate_training_step
+from repro.workloads import build_model
+from repro.workloads.zoo import CNN_MODELS, RNN_MODELS, TRANSFORMER_MODELS
+
+#: CNN image sizes: baseline 32 plus 4x/16x/64x *pixels* (2x/4x/8x side).
+IMAGE_SIZES = (32, 64, 128, 256)
+#: Sequence lengths: baseline 32 plus 2x/4x/8x.
+SEQ_LENS = (32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """DiVa-over-WS speedup at one scale setting."""
+
+    model: str
+    scale_label: str
+    batch: int
+    speedup: float
+
+
+def _speedup(name: str, input_size: int, seq_len: int) -> SensitivityPoint:
+    network = build_model(name, input_size=input_size, seq_len=seq_len)
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    ws = build_accelerator("ws")
+    diva = build_accelerator("diva", with_ppu=True)
+    base = simulate_training_step(network, Algorithm.DP_SGD_R, ws, batch)
+    ours = simulate_training_step(network, Algorithm.DP_SGD_R, diva, batch)
+    label = (f"img{input_size}" if name in CNN_MODELS else f"seq{seq_len}")
+    return SensitivityPoint(
+        model=name,
+        scale_label=label,
+        batch=batch,
+        speedup=base.total_seconds / ours.total_seconds,
+    )
+
+
+def run_images(sizes: tuple[int, ...] = IMAGE_SIZES,
+               models: tuple[str, ...] = CNN_MODELS) -> list[SensitivityPoint]:
+    """CNN image-size sweep."""
+    return [_speedup(name, size, 32) for size in sizes for name in models]
+
+
+def run_sequences(
+    lens: tuple[int, ...] = SEQ_LENS,
+    models: tuple[str, ...] = TRANSFORMER_MODELS + RNN_MODELS,
+) -> list[SensitivityPoint]:
+    """Transformer/RNN sequence-length sweep."""
+    return [_speedup(name, 32, length) for length in lens for name in models]
+
+
+def averages(points: list[SensitivityPoint]) -> dict[str, float]:
+    """Mean speedup per scale setting."""
+    labels = sorted({p.scale_label for p in points},
+                    key=lambda s: int(s[3:]))
+    return {
+        label: mean([p.speedup for p in points if p.scale_label == label])
+        for label in labels
+    }
+
+
+def render(image_points: list[SensitivityPoint] | None = None,
+           seq_points: list[SensitivityPoint] | None = None) -> str:
+    """Section VI-C as two text tables."""
+    image_points = image_points or run_images()
+    seq_points = seq_points or run_sequences()
+    img_avg = averages(image_points)
+    seq_avg = averages(seq_points)
+    img_table = format_table(
+        ["Image scale", "Avg DiVa speedup vs WS"],
+        [[label, value] for label, value in img_avg.items()],
+        title="Section VI-C: image-size sensitivity "
+              "(paper: 3.6x/2.1x/1.7x for 4x/16x/64x pixels)",
+    )
+    seq_table = format_table(
+        ["Sequence length", "Avg DiVa speedup vs WS"],
+        [[label, value] for label, value in seq_avg.items()],
+        title="Section VI-C: sequence-length sensitivity "
+              "(paper: 2.0x/1.6x/1.5x for 2x/4x/8x)",
+    )
+    return img_table + "\n\n" + seq_table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

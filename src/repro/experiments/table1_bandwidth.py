@@ -1,0 +1,49 @@
+"""Table I: on-chip SRAM bandwidth requirements per dataflow.
+
+Paper values for the 128x128 array with 16-bit operands and 32-bit
+accumulation: WS needs (2*PE_H + 20*PE_W) bytes/clock; systolic OS and
+the outer product need (2*PE_H + 34*PE_W) bytes/clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.bandwidth import SramBandwidth, os_bandwidth, ws_bandwidth
+from repro.arch.engine import ArrayConfig
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Both columns of Table I."""
+
+    ws: SramBandwidth
+    os_outer: SramBandwidth
+
+
+def run(config: ArrayConfig | None = None) -> Table1:
+    """Compute Table I for a given (default Table II) array."""
+    cfg = config or ArrayConfig()
+    return Table1(ws=ws_bandwidth(cfg), os_outer=os_bandwidth(cfg))
+
+
+def render(result: Table1 | None = None) -> str:
+    """Table I as text."""
+    result = result or run()
+    rows = [
+        ["Input LHS", result.ws.lhs_read, result.os_outer.lhs_read],
+        ["Input RHS", result.ws.rhs_read, result.os_outer.rhs_read],
+        ["Output", result.ws.output_write, result.os_outer.output_write],
+        ["Total", result.ws.total, result.os_outer.total],
+    ]
+    return format_table(
+        ["Data type", "Systolic WS (B/clock)",
+         "Systolic OS & Outer-product (B/clock)"],
+        rows,
+        title="Table I: SRAM buffer bandwidth requirements",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

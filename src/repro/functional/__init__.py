@@ -1,0 +1,47 @@
+"""Functional (cycle-by-cycle) array simulators for model validation.
+
+These move real data through register arrays one clock at a time and
+are used by the test suite to validate both the numerics and the cycle
+formulas of the analytic engines in :mod:`repro.arch` / :mod:`repro.core`.
+"""
+
+from repro.functional.adder_tree import (
+    AdderTreeResult,
+    PipelinedAdderTree,
+    simulate_adder_tree,
+)
+from repro.functional.outer_product import (
+    OuterProductResult,
+    simulate_outer_product,
+)
+from repro.functional.precision import (
+    bf16_matmul,
+    bf16_relative_error,
+    to_bfloat16,
+)
+from repro.functional.systolic_os import OsResult, os_wavefront_cycles, simulate_os
+from repro.functional.systolic_ws import (
+    FunctionalResult,
+    simulate_ws,
+    ws_stream_cycles,
+)
+from repro.functional.tiled import TiledResult, tiled_matmul
+
+__all__ = [
+    "simulate_ws",
+    "ws_stream_cycles",
+    "FunctionalResult",
+    "simulate_os",
+    "os_wavefront_cycles",
+    "OsResult",
+    "simulate_outer_product",
+    "OuterProductResult",
+    "PipelinedAdderTree",
+    "simulate_adder_tree",
+    "AdderTreeResult",
+    "tiled_matmul",
+    "TiledResult",
+    "to_bfloat16",
+    "bf16_matmul",
+    "bf16_relative_error",
+]

@@ -1,0 +1,95 @@
+"""Cycle-by-cycle functional simulation of one pipelined adder tree.
+
+Figure 11: a ``log2(width)``-level binary adder tree reduces one
+``width``-element row per clock in a fully pipelined fashion.  A new
+row may enter every cycle; its scalar sum emerges ``levels`` cycles
+later.  The PPU instantiates ``R`` such trees, one per drained output
+row (Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdderTreeResult:
+    """Output of a pipelined adder-tree simulation."""
+
+    sums: np.ndarray
+    #: Cycle at which each input row's sum emerged (0-indexed from the
+    #: cycle its row was injected).
+    latency_cycles: int
+    total_cycles: int
+
+
+class PipelinedAdderTree:
+    """A ``width``-input pipelined binary adder tree."""
+
+    def __init__(self, width: int) -> None:
+        if width < 2:
+            raise ValueError("adder tree needs at least 2 inputs")
+        self.width = width
+        self.levels = math.ceil(math.log2(width))
+        padded = 1 << self.levels
+        # pipeline[level] holds the partial sums currently at that level.
+        self._pipeline: list[np.ndarray | None] = [None] * self.levels
+        self._padded = padded
+
+    def step(self, row: np.ndarray | None) -> float | None:
+        """Advance one clock; inject ``row`` (or a bubble) at level 0.
+
+        Returns the scalar that exits the final level this cycle, or
+        ``None`` if a bubble emerges.
+        """
+        out = self._pipeline[-1]
+        result = float(out[0]) if out is not None else None
+        # Shift every level forward, pairing-and-adding as we go.
+        for level in range(self.levels - 1, 0, -1):
+            below = self._pipeline[level - 1]
+            if below is None:
+                self._pipeline[level] = None
+            else:
+                self._pipeline[level] = below[0::2] + below[1::2]
+        if row is None:
+            self._pipeline[0] = None
+        else:
+            row = np.asarray(row, dtype=np.float64)
+            if row.shape != (self.width,):
+                raise ValueError(
+                    f"expected a row of width {self.width}, got {row.shape}"
+                )
+            padded = np.zeros(self._padded)
+            padded[: self.width] = row
+            self._pipeline[0] = padded[0::2] + padded[1::2]
+        return result
+
+
+def simulate_adder_tree(rows: np.ndarray) -> AdderTreeResult:
+    """Reduce each row of ``rows`` through one pipelined adder tree."""
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError("expected a 2D array of rows")
+    count, width = rows.shape
+    tree = PipelinedAdderTree(width)
+    sums: list[float] = []
+    cycle = 0
+    for i in range(count):
+        out = tree.step(rows[i])
+        if out is not None:
+            sums.append(out)
+        cycle += 1
+    # Flush the pipeline with bubbles.
+    while len(sums) < count:
+        out = tree.step(None)
+        if out is not None:
+            sums.append(out)
+        cycle += 1
+    return AdderTreeResult(
+        sums=np.array(sums),
+        latency_cycles=tree.levels,
+        total_cycles=cycle,
+    )

@@ -1,0 +1,51 @@
+"""BF16 datapath emulation (Table I: BF16 multiply, FP32 accumulate).
+
+Every engine in the paper multiplies BF16 operands and accumulates in
+FP32.  This module emulates that numeric behaviour in NumPy so the
+functional DP-SGD substrate can quantify the precision impact of the
+hardware datapath (bfloat16 keeps FP32's exponent range but only 8
+mantissa bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Round an array to bfloat16 precision (kept in float32 storage).
+
+    Uses round-to-nearest-even on the upper 16 bits of the IEEE-754
+    single-precision encoding — the standard bfloat16 conversion.
+    """
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF plus the LSB of the kept part.
+    rounded = (bits + 0x7FFF + ((bits >> 16) & 1)) & np.uint32(0xFFFF0000)
+    out = rounded.astype(np.uint32).view(np.float32).copy()
+    # NaN payloads can be squashed to infinity by the rounding add;
+    # restore NaNs explicitly.
+    nan_mask = np.isnan(x32)
+    if nan_mask.any():
+        out[nan_mask] = np.nan
+    return out.reshape(x32.shape)
+
+
+def bf16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiplication with BF16 operands, FP32 accumulation.
+
+    Mirrors the paper's PE datapath: operands are quantized to bfloat16
+    before the multiply; products and sums are kept in float32.
+    """
+    a16 = to_bfloat16(a).astype(np.float32)
+    b16 = to_bfloat16(b).astype(np.float32)
+    return a16 @ b16
+
+
+def bf16_relative_error(x: np.ndarray) -> np.ndarray:
+    """Element-wise relative quantization error of the BF16 rounding."""
+    x = np.asarray(x, dtype=np.float64)
+    quantized = to_bfloat16(x).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        err = np.abs(quantized - x) / np.abs(x)
+    return np.where(x == 0.0, 0.0, err)

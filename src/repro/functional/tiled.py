@@ -1,0 +1,90 @@
+"""Tiled functional GEMM: compose single-tile array sims over big GEMMs.
+
+The analytic engines (:mod:`repro.arch`) tile GEMMs onto the physical
+array and sum per-tile cycle formulas; this module executes the *same
+tiling* through the cycle-by-cycle functional simulators and assembles
+the numeric result — validating that the tiling covers the operands
+exactly and that partial-sum accumulation across K-chunks (WS) or
+output placement across M/N-chunks (OS, outer-product) is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.engine import chunk_sizes
+from repro.functional.outer_product import simulate_outer_product
+from repro.functional.systolic_os import simulate_os
+from repro.functional.systolic_ws import simulate_ws
+
+_DATAFLOWS = ("ws", "os", "outer_product")
+
+
+@dataclass(frozen=True)
+class TiledResult:
+    """Assembled output and cycle total of a tiled functional GEMM."""
+
+    output: np.ndarray
+    total_cycles: int
+    tiles: int
+
+
+def tiled_matmul(a: np.ndarray, b: np.ndarray, height: int, width: int,
+                 dataflow: str = "outer_product",
+                 fill_rows_per_cycle: int = 8,
+                 drain_rows_per_cycle: int = 8) -> TiledResult:
+    """Multiply arbitrarily shaped ``a @ b`` on a small functional array.
+
+    WS tiles (K -> rows, N -> columns) accumulate partial sums across
+    K-chunks; OS/outer-product tiles (M -> rows, N -> columns) each own
+    a disjoint output block.
+    """
+    if dataflow not in _DATAFLOWS:
+        raise ValueError(f"unknown dataflow {dataflow!r}; "
+                         f"choose from {_DATAFLOWS}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+
+    output = np.zeros((m, n))
+    cycles = 0
+    tiles = 0
+    if dataflow == "ws":
+        k_offsets = _offsets(chunk_sizes(k, height))
+        n_offsets = _offsets(chunk_sizes(n, width))
+        for k0, kt in k_offsets:
+            for n0, nt in n_offsets:
+                result = simulate_ws(
+                    a[:, k0:k0 + kt], b[k0:k0 + kt, n0:n0 + nt],
+                    height, width, fill_rows_per_cycle)
+                output[:, n0:n0 + nt] += result.output
+                cycles += result.total_cycles
+                tiles += 1
+    else:
+        simulate = (simulate_os if dataflow == "os"
+                    else simulate_outer_product)
+        m_offsets = _offsets(chunk_sizes(m, height))
+        n_offsets = _offsets(chunk_sizes(n, width))
+        for m0, mt in m_offsets:
+            for n0, nt in n_offsets:
+                result = simulate(
+                    a[m0:m0 + mt, :], b[:, n0:n0 + nt],
+                    height, width, drain_rows_per_cycle)
+                output[m0:m0 + mt, n0:n0 + nt] = result.output
+                cycles += result.total_cycles
+                tiles += 1
+    return TiledResult(output=output, total_cycles=cycles, tiles=tiles)
+
+
+def _offsets(chunks: list[int]) -> list[tuple[int, int]]:
+    out = []
+    position = 0
+    for size in chunks:
+        out.append((position, size))
+        position += size
+    return out

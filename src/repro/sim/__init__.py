@@ -1,0 +1,18 @@
+"""Event-driven pipeline simulation with DMA prefetch."""
+
+from repro.sim.engine import (
+    OpTiming,
+    PipelineSimulator,
+    TimedOp,
+    Timeline,
+)
+from repro.sim.pipeline import PipelineReport, pipeline_training_step
+
+__all__ = [
+    "TimedOp",
+    "OpTiming",
+    "Timeline",
+    "PipelineSimulator",
+    "PipelineReport",
+    "pipeline_training_step",
+]

@@ -1,0 +1,32 @@
+"""Training-step planning, memory modeling and simulation."""
+
+from repro.training.algorithms import Algorithm
+from repro.training.memory import (
+    DEFAULT_CAPACITY_BYTES,
+    MemoryBreakdown,
+    max_batch_size,
+    memory_breakdown,
+)
+from repro.training.phases import BACKPROP_PHASES, PHASE_ORDER, Phase
+from repro.training.plan import bottleneck_gemms, phase_gemms
+from repro.training.simulate import (
+    TrainingReport,
+    simulate_training_step,
+    stage_utilization,
+)
+
+__all__ = [
+    "Algorithm",
+    "Phase",
+    "PHASE_ORDER",
+    "BACKPROP_PHASES",
+    "phase_gemms",
+    "bottleneck_gemms",
+    "MemoryBreakdown",
+    "memory_breakdown",
+    "max_batch_size",
+    "DEFAULT_CAPACITY_BYTES",
+    "TrainingReport",
+    "simulate_training_step",
+    "stage_utilization",
+]

@@ -1,0 +1,137 @@
+"""Memory footprint model for SGD / DP-SGD / DP-SGD(R) (Figure 4, Sec. III-A).
+
+The paper's Figure 4 decomposes TPUv3 HBM usage into weights,
+activations, per-batch weight gradients, per-example weight gradients
+and "else"; per-example gradients average 78% of DP-SGD's footprint and
+cap the feasible mini-batch at a fraction of the non-private one
+(e.g. ResNet-152: 8192 for SGD vs 32 for DP-SGD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.training.algorithms import Algorithm
+from repro.workloads.model import Network
+
+#: Default accelerator HBM capacity (Google TPUv3: 16 GB).
+DEFAULT_CAPACITY_BYTES = 16 * 2**30
+
+#: Fraction of HBM the runtime keeps free (allocator fragmentation,
+#: framework reserves).  Calibrated so the max-batch search reproduces
+#: the paper's power-of-two batch sizes.
+DEFAULT_RESERVED_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-category memory usage of one training step, in bytes."""
+
+    weights: int
+    activations: int
+    batch_gradients: int
+    example_gradients: int
+    other: int
+
+    @property
+    def total(self) -> int:
+        return (self.weights + self.activations + self.batch_gradients
+                + self.example_gradients + self.other)
+
+    def fraction(self, category: str) -> float:
+        """Fraction of the total taken by ``category`` (attribute name)."""
+        return getattr(self, category) / self.total
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "weights": self.weights,
+            "activations": self.activations,
+            "batch_gradients": self.batch_gradients,
+            "example_gradients": self.example_gradients,
+            "other": self.other,
+        }
+
+
+def memory_breakdown(
+    network: Network,
+    algorithm: Algorithm,
+    batch: int,
+    act_bytes: int = 2,
+    grad_bytes: int = 4,
+    master_bytes: int = 4,
+    optimizer_slots: int = 1,
+) -> MemoryBreakdown:
+    """Model the HBM footprint of one training step.
+
+    Parameters
+    ----------
+    act_bytes:
+        Activation storage width (BF16 on TPUs).
+    grad_bytes:
+        Gradient storage width (FP32 accumulation, Table I footnote).
+    master_bytes:
+        Master weight copy width (FP32).
+    optimizer_slots:
+        Extra per-parameter optimizer state copies (momentum).
+    """
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    params = network.params
+    # FP32 master copy plus the BF16 working copy fed to the GEMM engine.
+    weights = params * (master_bytes + act_bytes)
+    activations = network.act_elems_per_example * batch * act_bytes
+    batch_gradients = params * grad_bytes
+    if algorithm.stores_example_gradients:
+        example_gradients = params * grad_bytes * batch
+    elif algorithm.is_private:
+        # DP-SGD(R): transient per-layer buffer — per-example gradients
+        # of the largest layer live only until their norms are derived.
+        example_gradients = network.max_layer_params * grad_bytes * batch
+    else:
+        example_gradients = 0
+    other = params * grad_bytes * optimizer_slots
+    other += network.input_elems * batch * act_bytes
+    if algorithm.is_private:
+        # Per-example norm scalars and clip scales.
+        other += 2 * batch * len(network.weight_layers) * grad_bytes
+    return MemoryBreakdown(
+        weights=weights,
+        activations=activations,
+        batch_gradients=batch_gradients,
+        example_gradients=example_gradients,
+        other=other,
+    )
+
+
+def max_batch_size(
+    network: Network,
+    algorithm: Algorithm,
+    capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    reserved_fraction: float = DEFAULT_RESERVED_FRACTION,
+    power_of_two: bool = True,
+    **kwargs,
+) -> int:
+    """Largest feasible training mini-batch under ``capacity_bytes``.
+
+    Mirrors the Section III-A experiment: the paper reports
+    power-of-two maxima (8192/1024 for SGD vs 32/8 for DP-SGD on
+    ResNet-152/BERT-base).
+    """
+    budget = capacity_bytes * (1.0 - reserved_fraction)
+    if memory_breakdown(network, algorithm, 1, **kwargs).total > budget:
+        raise ValueError(
+            f"{network.name} does not fit a single example under "
+            f"{capacity_bytes / 2**30:.1f} GB with {algorithm}"
+        )
+    low, high = 1, 2
+    while memory_breakdown(network, algorithm, high, **kwargs).total <= budget:
+        low, high = high, high * 2
+    if power_of_two:
+        return low
+    while high - low > 1:
+        mid = (low + high) // 2
+        if memory_breakdown(network, algorithm, mid, **kwargs).total <= budget:
+            low = mid
+        else:
+            high = mid
+    return low

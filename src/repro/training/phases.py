@@ -1,0 +1,42 @@
+"""Training-step phase taxonomy, matching Figures 5 and 14.
+
+The paper decomposes a training step into the stages below; every
+simulated operation is attributed to exactly one phase so the breakdown
+figures can be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Phase(enum.Enum):
+    """Stages of a training step (labels follow Figure 5/14)."""
+
+    FWD = "Fwdprop"
+    BWD_ACT_1 = "Bwd(activation grad, 1st pass)"
+    BWD_EXAMPLE_GRAD = "Bwd(per-example grad)"
+    BWD_GRAD_NORM = "Bwd(grad norm)"
+    BWD_ACT_2 = "Bwd(activation grad, 2nd pass)"
+    BWD_BATCH_GRAD = "Bwd(per-batch grad)"
+    BWD_GRAD_CLIP = "Bwd(grad clip)"
+    BWD_REDUCE_NOISE = "Bwd(Reduce/noise)"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Phases belonging to backpropagation (everything but forward).
+BACKPROP_PHASES = tuple(p for p in Phase if p is not Phase.FWD)
+
+#: Rendering order used by the breakdown figures.
+PHASE_ORDER = (
+    Phase.FWD,
+    Phase.BWD_ACT_1,
+    Phase.BWD_EXAMPLE_GRAD,
+    Phase.BWD_GRAD_NORM,
+    Phase.BWD_ACT_2,
+    Phase.BWD_BATCH_GRAD,
+    Phase.BWD_GRAD_CLIP,
+    Phase.BWD_REDUCE_NOISE,
+)

@@ -1,0 +1,63 @@
+"""GEMM schedules per training phase and algorithm.
+
+:func:`phase_gemms` lowers a network + algorithm into the ordered GEMM
+lists of each :class:`~repro.training.phases.Phase`.  Consumers include
+the accelerator simulation driver (:mod:`repro.training.simulate`) and
+the GPU comparison (Figure 17), which prices the same GEMM lists on the
+GPU model.
+"""
+
+from __future__ import annotations
+
+from repro.training.algorithms import Algorithm
+from repro.training.phases import Phase
+from repro.workloads.gemms import Gemm, GemmKind
+from repro.workloads.model import Network
+
+
+def phase_gemms(network: Network, algorithm: Algorithm,
+                batch: int) -> dict[Phase, list[Gemm]]:
+    """GEMMs of each training phase for one mini-batch step.
+
+    Non-GEMM work (element-wise ops, norm derivation, clipping,
+    reduction, noise) is attached by the simulation driver; this mapping
+    covers only the matrix multiplications of Figure 6.
+    """
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+
+    fwd = network.gemms(GemmKind.FORWARD, batch)
+    act = network.gemms(GemmKind.ACT_GRAD, batch)
+    plan: dict[Phase, list[Gemm]] = {phase: [] for phase in Phase}
+    plan[Phase.FWD] = fwd
+    plan[Phase.BWD_ACT_1] = act
+
+    if algorithm is Algorithm.SGD:
+        plan[Phase.BWD_BATCH_GRAD] = network.gemms(GemmKind.WGRAD_BATCH, batch)
+    elif algorithm is Algorithm.DP_SGD:
+        plan[Phase.BWD_EXAMPLE_GRAD] = network.gemms(
+            GemmKind.WGRAD_EXAMPLE, batch)
+    elif algorithm is Algorithm.DP_SGD_R:
+        plan[Phase.BWD_EXAMPLE_GRAD] = network.gemms(
+            GemmKind.WGRAD_EXAMPLE, batch)
+        plan[Phase.BWD_ACT_2] = list(act)
+        plan[Phase.BWD_BATCH_GRAD] = network.gemms(GemmKind.WGRAD_BATCH, batch)
+    else:  # pragma: no cover - exhaustive enum
+        raise AssertionError(f"unhandled algorithm {algorithm}")
+    return plan
+
+
+def bottleneck_gemms(network: Network, algorithm: Algorithm,
+                     batch: int) -> list[Gemm]:
+    """The backpropagation GEMMs — the paper's bottleneck stages.
+
+    Used by the GPU comparison (Figure 17), which evaluates "those key
+    GEMM operations that constitute DP-SGD's backpropagation bottleneck
+    stages" (Section VI-D).
+    """
+    plan = phase_gemms(network, algorithm, batch)
+    gemms: list[Gemm] = []
+    for phase in (Phase.BWD_ACT_1, Phase.BWD_EXAMPLE_GRAD,
+                  Phase.BWD_ACT_2, Phase.BWD_BATCH_GRAD):
+        gemms.extend(plan[phase])
+    return gemms

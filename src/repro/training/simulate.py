@@ -1,0 +1,307 @@
+"""Training-step simulation driver.
+
+:func:`simulate_training_step` executes one mini-batch step of a given
+algorithm on a given accelerator model and returns a
+:class:`TrainingReport`: per-phase latency / traffic / MAC aggregates
+from which every performance figure of the paper (5, 13, 14, 15, 16 and
+the PPU traffic claim) is derived.
+
+Modeling notes
+--------------
+* GEMMs follow the Figure 6 schedules from :mod:`repro.training.plan`.
+* Element-wise layers (ReLU, pooling, normalization math, residual
+  adds, softmax) run on the vector unit with full DRAM round trips — a
+  conservative, fusion-free model that is negligible next to the GEMM
+  and post-processing phases.
+* Per-example gradients of *vector-path* parameters (LayerNorm /
+  BatchNorm affine vectors, embeddings) are materialized densely to
+  DRAM and normed by the vector unit on every design point — the PPU
+  only intercepts gradients drained from the GEMM engine.
+* With a PPU on an output-stationary drain, per-example gradient norms
+  fuse into the weight-gradient GEMMs (``fuse_norm``), and under
+  DP-SGD(R) the gradients themselves are never written off-chip — the
+  source of the paper's "99% reduction in off-chip data movement during
+  gradient post-processing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.arch.accelerator import Accelerator, OpRun
+from repro.training.algorithms import Algorithm
+from repro.training.phases import PHASE_ORDER, Phase
+from repro.training.plan import phase_gemms
+from repro.workloads.gemms import Gemm
+from repro.workloads.layer import Embedding
+from repro.workloads.model import Network
+
+#: Storage width of gradients / norms (FP32).
+GRAD_BYTES = 4
+#: Storage width of activations (BF16).
+ACT_BYTES = 2
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Per-phase execution aggregates of one training step."""
+
+    network: str
+    family: str
+    algorithm: Algorithm
+    accelerator: str
+    with_ppu: bool
+    batch: int
+    frequency_hz: float
+    phases: dict[Phase, OpRun]
+
+    @cached_property
+    def total(self) -> OpRun:
+        """Aggregate over all phases."""
+        total = OpRun.zero()
+        for run in self.phases.values():
+            total = total + run
+        return total
+
+    @property
+    def total_cycles(self) -> int:
+        return self.total.cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total.cycles / self.frequency_hz
+
+    def phase_cycles(self, phase: Phase) -> int:
+        return self.phases.get(phase, OpRun.zero()).cycles
+
+    def phase_seconds(self, phase: Phase) -> float:
+        return self.phase_cycles(phase) / self.frequency_hz
+
+    @property
+    def backprop_fraction(self) -> float:
+        """Fraction of the step spent in backpropagation (Section III-B)."""
+        fwd = self.phase_cycles(Phase.FWD)
+        if self.total_cycles == 0:
+            return 0.0
+        return 1.0 - fwd / self.total_cycles
+
+    @property
+    def postprocessing_dram_bytes(self) -> int:
+        """Off-chip traffic of per-example gradient post-processing.
+
+        Covers the per-example gradient spill (the write side of the
+        example-gradient phase) plus the norm-derivation and clipping
+        traffic — the quantity the PPU shrinks by ~99% (Section I).
+        The reduce/noise/update phase is excluded: it operates on
+        per-batch state that exists under every algorithm.
+        """
+        spill = self.phases.get(Phase.BWD_EXAMPLE_GRAD,
+                                OpRun.zero()).dram_write_bytes
+        post = sum(
+            self.phases.get(p, OpRun.zero()).dram_bytes
+            for p in (Phase.BWD_GRAD_NORM, Phase.BWD_GRAD_CLIP)
+        )
+        return spill + post
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase -> seconds mapping in figure order."""
+        return {str(p): self.phase_seconds(p) for p in PHASE_ORDER}
+
+
+def _vector_path_elems(network: Network, batch: int) -> int:
+    """Activation elements of non-GEMM layers for a mini-batch."""
+    return batch * sum(
+        layer.out_elems for layer in network.layers if not layer.has_weights
+    )
+
+
+def _embedding_elems(network: Network, batch: int) -> int:
+    """Activation elements produced by embedding lookups."""
+    return batch * sum(
+        layer.out_elems for layer in network.layers
+        if isinstance(layer, Embedding)
+    )
+
+
+def _run_gemms(accel: Accelerator, gemms: list[Gemm],
+               write_output: bool = True, fuse_norm: bool = False) -> OpRun:
+    total = OpRun.zero()
+    for gemm in gemms:
+        total = total + accel.run_gemm(
+            gemm, write_output=write_output, fuse_norm=fuse_norm)
+    return total
+
+
+def _elementwise(accel: Accelerator, elems: int,
+                 ops_per_elem: float = 1.0) -> OpRun:
+    """Vector-unit pass over ``elems`` values with a DRAM round trip."""
+    if elems <= 0:
+        return OpRun.zero()
+    return accel.run_vector(
+        elems,
+        ops_per_elem=ops_per_elem,
+        dram_read_bytes=elems * ACT_BYTES,
+        dram_write_bytes=elems * ACT_BYTES,
+    )
+
+
+def simulate_training_step(
+    network: Network,
+    algorithm: Algorithm,
+    accelerator: Accelerator,
+    batch: int,
+) -> TrainingReport:
+    """Simulate one training step and return the per-phase report."""
+    plan = phase_gemms(network, algorithm, batch)
+    fuse = accelerator.can_fuse_norm
+    gemm_params = network.gemm_params
+    vector_params = network.vector_grad_params
+    all_params = network.params
+    act_elems = _vector_path_elems(network, batch)
+    phases: dict[Phase, OpRun] = {}
+
+    # -- forward -------------------------------------------------------------
+    fwd = _run_gemms(accelerator, plan[Phase.FWD])
+    fwd = fwd + _elementwise(accelerator, act_elems)
+    phases[Phase.FWD] = fwd
+
+    # -- activation gradients, 1st pass ---------------------------------------
+    bwd_act = _run_gemms(accelerator, plan[Phase.BWD_ACT_1])
+    bwd_act = bwd_act + _elementwise(accelerator, act_elems)
+    phases[Phase.BWD_ACT_1] = bwd_act
+
+    if algorithm.is_private:
+        # -- per-example weight gradients -------------------------------------
+        # Plain DP-SGD must keep the gradients for clipping.  Under
+        # DP-SGD(R) the gradients exist only for norm derivation:
+        # an output-stationary drain forwards them on the fly (to the
+        # PPU, or failing that the vector unit) and never writes them
+        # off-chip; only the WS baseline must spill them to DRAM
+        # (Figure 10).
+        os_drain = accelerator.engine.dataflow == "output_stationary"
+        write_grads = algorithm.stores_example_gradients or not os_drain
+        example = _run_gemms(accelerator, plan[Phase.BWD_EXAMPLE_GRAD],
+                             write_output=write_grads, fuse_norm=fuse)
+        if vector_params:
+            # Dense materialization of embedding / norm-affine
+            # per-example gradients (vector path on every design).
+            example = example + accelerator.run_vector(
+                batch * vector_params,
+                dram_write_bytes=batch * vector_params * GRAD_BYTES,
+            )
+        phases[Phase.BWD_EXAMPLE_GRAD] = example
+
+        # -- per-example gradient norms ---------------------------------------
+        norm = OpRun.zero()
+        if fuse:
+            # PPU path: tree outputs only need the final per-example
+            # accumulation — norm derivation rode along with the drain.
+            norm = norm + accelerator.run_vector(
+                batch * len(network.weight_layers), reduction=True)
+        elif os_drain:
+            # No PPU, but the fine-grained OS drain forwards each output
+            # tile to the vector unit, which square-reduces it while the
+            # GEMM engine stalls (Section IV-C): compute-serialized, no
+            # off-chip spill.
+            norm = norm + accelerator.run_vector(
+                batch * gemm_params, ops_per_elem=2.0, reduction=True)
+        else:
+            # WS: fetch the DRAM-spilled gradients back and square-reduce
+            # them on the vector unit — the memory-bound stage of
+            # Section III-C.
+            norm = norm + accelerator.run_vector(
+                batch * gemm_params,
+                ops_per_elem=2.0,
+                dram_read_bytes=batch * gemm_params * GRAD_BYTES,
+                reduction=True,
+            )
+        if vector_params:
+            norm = norm + accelerator.run_vector(
+                batch * vector_params,
+                ops_per_elem=2.0,
+                dram_read_bytes=batch * vector_params * GRAD_BYTES,
+                reduction=True,
+            )
+        phases[Phase.BWD_GRAD_NORM] = norm
+
+    if algorithm is Algorithm.DP_SGD:
+        # -- clip, then reduce + noise ----------------------------------------
+        phases[Phase.BWD_GRAD_CLIP] = accelerator.run_vector(
+            batch * all_params,
+            dram_read_bytes=batch * all_params * GRAD_BYTES,
+            dram_write_bytes=batch * all_params * GRAD_BYTES,
+        )
+        reduce = accelerator.run_vector(
+            batch * all_params,
+            dram_read_bytes=batch * all_params * GRAD_BYTES,
+            dram_write_bytes=all_params * GRAD_BYTES,
+            reduction=True,
+        )
+        phases[Phase.BWD_REDUCE_NOISE] = reduce + _noise_and_update(
+            accelerator, all_params)
+
+    elif algorithm is Algorithm.DP_SGD_R:
+        # -- second backpropagation pass --------------------------------------
+        act2 = _run_gemms(accelerator, plan[Phase.BWD_ACT_2])
+        act2 = act2 + _elementwise(accelerator, act_elems)
+        # Reweighting the loss gradients by the clip scales is a tiny
+        # per-example scale.
+        act2 = act2 + accelerator.run_vector(batch)
+        phases[Phase.BWD_ACT_2] = act2
+        phases[Phase.BWD_BATCH_GRAD] = _run_gemms(
+            accelerator, plan[Phase.BWD_BATCH_GRAD])
+        phases[Phase.BWD_REDUCE_NOISE] = _noise_and_update(
+            accelerator, all_params)
+
+    else:  # non-private SGD
+        phases[Phase.BWD_BATCH_GRAD] = _run_gemms(
+            accelerator, plan[Phase.BWD_BATCH_GRAD])
+        phases[Phase.BWD_REDUCE_NOISE] = _update_only(accelerator, all_params)
+
+    return TrainingReport(
+        network=network.name,
+        family=network.family,
+        algorithm=algorithm,
+        accelerator=accelerator.name,
+        with_ppu=accelerator.ppu is not None,
+        batch=batch,
+        frequency_hz=accelerator.frequency_hz,
+        phases=phases,
+    )
+
+
+def _noise_and_update(accel: Accelerator, params: int) -> OpRun:
+    """Gaussian noise generation/addition plus the SGD weight update."""
+    noise = accel.run_vector(
+        params,
+        ops_per_elem=3.0,  # RNG draw, scale, add
+        dram_read_bytes=params * GRAD_BYTES,
+        dram_write_bytes=params * GRAD_BYTES,
+    )
+    return noise + _update_only(accel, params)
+
+
+def _update_only(accel: Accelerator, params: int) -> OpRun:
+    """Weight update: read gradient + master weight, write new weight."""
+    return accel.run_vector(
+        params,
+        ops_per_elem=2.0,
+        dram_read_bytes=2 * params * GRAD_BYTES,
+        dram_write_bytes=params * GRAD_BYTES,
+    )
+
+
+def stage_utilization(accel: Accelerator, gemms: list[Gemm]) -> float:
+    """Aggregate FLOPS utilization of a GEMM list (Figures 7 / 15)."""
+    if not gemms:
+        return 0.0
+    cycles = 0
+    macs = 0
+    for gemm in gemms:
+        stats = accel.engine.gemm_stats(gemm)
+        cycles += stats.compute_cycles
+        macs += stats.macs
+    if cycles == 0:
+        return 0.0
+    return macs / (cycles * accel.config.peak_macs_per_cycle)

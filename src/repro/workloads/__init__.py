@@ -1,0 +1,34 @@
+"""Workload substrate: layer IR, Figure 6 GEMM extraction, model zoo."""
+
+from repro.workloads.gemms import Gemm, GemmKind
+from repro.workloads.layer import (
+    Conv2D,
+    Elementwise,
+    Embedding,
+    Layer,
+    Linear,
+    MatmulOp,
+    Norm,
+    Pool2D,
+    SeqLinear,
+)
+from repro.workloads.model import ModelFamily, Network
+from repro.workloads.zoo import MODEL_NAMES, build_model
+
+__all__ = [
+    "Gemm",
+    "GemmKind",
+    "Layer",
+    "Linear",
+    "SeqLinear",
+    "Conv2D",
+    "MatmulOp",
+    "Pool2D",
+    "Elementwise",
+    "Norm",
+    "Embedding",
+    "Network",
+    "ModelFamily",
+    "MODEL_NAMES",
+    "build_model",
+]

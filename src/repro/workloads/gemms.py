@@ -1,0 +1,98 @@
+"""GEMM descriptors and the Figure 6 (M, K, N) dimension taxonomy.
+
+Every compute-heavy operation in SGD / DP-SGD training lowers to GEMM
+(generalized matrix multiplication).  The paper's Figure 6 tabulates the
+GEMM dimensions for the three training-time GEMM classes (forward,
+per-batch weight gradient, per-example weight gradient); activation
+gradients form a fourth class with regular shapes.  This module defines
+the :class:`Gemm` descriptor consumed by every accelerator model in
+:mod:`repro.arch` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class GemmKind(enum.Enum):
+    """Classes of GEMM arising in training, following Figures 6 and 7."""
+
+    FORWARD = "fwdprop"
+    ACT_GRAD = "act_grad"
+    WGRAD_BATCH = "wgrad_batch"
+    WGRAD_EXAMPLE = "wgrad_example"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Gemm:
+    """A (possibly batched) matrix multiplication ``(M, K) x (K, N)``.
+
+    Attributes
+    ----------
+    m, k, n:
+        The three GEMM dimensions of a *single* multiplication.
+    count:
+        Number of independent multiplications of this exact shape.  The
+        per-example weight-gradient derivation of DP-SGD issues ``B``
+        (mini-batch size) independent GEMMs per layer (Figure 6, right),
+        which is the paper's key irregularity; grouped convolutions
+        similarly fan out one GEMM per group.
+    kind:
+        Which training stage the GEMM belongs to.
+    layer:
+        Name of the originating layer (for tracing / breakdowns).
+    """
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    kind: GemmKind = GemmKind.FORWARD
+    layer: str = ""
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+        if self.count <= 0:
+            raise ValueError(f"GEMM count must be positive, got {self.count}")
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations across all ``count`` GEMMs."""
+        return self.m * self.k * self.n * self.count
+
+    @property
+    def flops(self) -> int:
+        """Total floating point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def lhs_elems(self) -> int:
+        """Elements of the left-hand operand across all GEMMs."""
+        return self.m * self.k * self.count
+
+    @property
+    def rhs_elems(self) -> int:
+        """Elements of the right-hand operand across all GEMMs."""
+        return self.k * self.n * self.count
+
+    @property
+    def out_elems(self) -> int:
+        """Elements of the output across all GEMMs."""
+        return self.m * self.n * self.count
+
+    def single(self) -> "Gemm":
+        """Return the same GEMM shape with ``count == 1``."""
+        return replace(self, count=1)
+
+    def with_kind(self, kind: GemmKind, layer: str = "") -> "Gemm":
+        """Return a copy tagged with ``kind`` (and optionally ``layer``)."""
+        return replace(self, kind=kind, layer=layer or self.layer)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = f"{self.count}x" if self.count != 1 else ""
+        return f"{prefix}GEMM({self.m}x{self.k}x{self.n}, {self.kind})"

@@ -1,0 +1,394 @@
+"""Layer intermediate representation with Figure 6 GEMM extraction.
+
+Each layer type knows how to emit the GEMMs it contributes to the four
+training stages (forward, activation gradient, per-batch weight gradient,
+per-example weight gradient) following the dimension taxonomy of the
+paper's Figure 6:
+
+==============================  =============  ==============  =================
+Layer                           Forward        Per-batch G(W)  Per-example G(W)
+==============================  =============  ==============  =================
+MLP (``Linear``)                (B, I, O)      (I, B, O)       B x (I, 1, O)
+Convolution (``Conv2D``)        (B*P*Q,        (Cin*R*S,       B x (Cin*R*S,
+                                 Cin*R*S,       B*P*Q,          P*Q,
+                                 Cout)          Cout)           Cout)
+Time-series MLP (``SeqLinear``) (B*L, I, O)    (I, B*L, O)     B x (I, L, O)
+==============================  =============  ==============  =================
+
+Weightless matmuls (attention score/value products) only appear in the
+forward and activation-gradient stages.  Memory-only layers (pooling,
+element-wise ops, normalization) emit no GEMMs but still contribute
+activation footprint and vector-unit work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.workloads.gemms import Gemm, GemmKind
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed to {out} "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all layers.
+
+    Attributes
+    ----------
+    name:
+        Unique (within a network) identifier used in traces.
+    """
+
+    name: str
+
+    @property
+    def params(self) -> int:
+        """Number of learnable parameters (0 for weightless layers)."""
+        return 0
+
+    @property
+    def out_elems(self) -> int:
+        """Output activation elements per example (stored for backprop)."""
+        return 0
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the layer owns learnable weights (needs weight grads)."""
+        return self.params > 0
+
+    # -- GEMM extraction ---------------------------------------------------
+    def forward_gemms(self, batch: int) -> list[Gemm]:
+        """GEMMs issued during forward propagation."""
+        return []
+
+    def act_grad_gemms(self, batch: int) -> list[Gemm]:
+        """GEMMs issued to derive the input-activation gradient G(X)."""
+        return []
+
+    def batch_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        """GEMMs issued to derive the per-batch weight gradient G(W)."""
+        return []
+
+    def example_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        """GEMMs issued to derive per-example weight gradients G_i(W)."""
+        return []
+
+
+@dataclass(frozen=True)
+class Linear(Layer):
+    """Fully connected layer: ``Y = X W`` with X of shape (B, I)."""
+
+    in_features: int
+    out_features: int
+    bias: bool = True
+
+    @property
+    def params(self) -> int:
+        n = self.in_features * self.out_features
+        if self.bias:
+            n += self.out_features
+        return n
+
+    @property
+    def out_elems(self) -> int:
+        return self.out_features
+
+    def forward_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(batch, self.in_features, self.out_features,
+                 kind=GemmKind.FORWARD, layer=self.name)
+        ]
+
+    def act_grad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(batch, self.out_features, self.in_features,
+                 kind=GemmKind.ACT_GRAD, layer=self.name)
+        ]
+
+    def batch_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(self.in_features, batch, self.out_features,
+                 kind=GemmKind.WGRAD_BATCH, layer=self.name)
+        ]
+
+    def example_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(self.in_features, 1, self.out_features, count=batch,
+                 kind=GemmKind.WGRAD_EXAMPLE, layer=self.name)
+        ]
+
+
+@dataclass(frozen=True)
+class SeqLinear(Layer):
+    """Position-wise linear layer over a length-``seq_len`` sequence.
+
+    Models the "MLP layer with time-series input" row of Figure 6 and is
+    used for BERT projections / feed-forward blocks and LSTM gate
+    matrices (the paper maps LSTM GEMMs this way).
+    """
+
+    in_features: int
+    out_features: int
+    seq_len: int
+    bias: bool = True
+
+    @property
+    def params(self) -> int:
+        n = self.in_features * self.out_features
+        if self.bias:
+            n += self.out_features
+        return n
+
+    @property
+    def out_elems(self) -> int:
+        return self.seq_len * self.out_features
+
+    def forward_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(batch * self.seq_len, self.in_features, self.out_features,
+                 kind=GemmKind.FORWARD, layer=self.name)
+        ]
+
+    def act_grad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(batch * self.seq_len, self.out_features, self.in_features,
+                 kind=GemmKind.ACT_GRAD, layer=self.name)
+        ]
+
+    def batch_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(self.in_features, batch * self.seq_len, self.out_features,
+                 kind=GemmKind.WGRAD_BATCH, layer=self.name)
+        ]
+
+    def example_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(self.in_features, self.seq_len, self.out_features,
+                 count=batch, kind=GemmKind.WGRAD_EXAMPLE, layer=self.name)
+        ]
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2D convolution lowered to GEMM via im2col (paper Section II-D).
+
+    Grouped convolutions (``groups > 1``, e.g. MobileNet's depthwise
+    stage with ``groups == in_channels``) support two lowerings:
+
+    * ``dense_group_lowering=True`` (default): the XLA-on-TPU strategy —
+      the grouped conv becomes a dense conv with block-diagonal masked
+      weights, i.e. the Figure 6 formulas with the *full* channel
+      counts.  This wastes ``groups``-fold MACs but keeps the array fed,
+      and is what the paper's TPU-side GEMM dimensions imply.
+    * ``dense_group_lowering=False``: native grouped execution — one
+      tiny GEMM per group (``count`` scales by ``groups``).  GPUs run
+      this form via dedicated depthwise kernels (Section VI-D explains
+      why GPUs win on MobileNet).
+    """
+
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+    groups: int = 1
+    bias: bool = False
+    dense_group_lowering: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"{self.name}: channels ({self.in_channels}->{self.out_channels}) "
+                f"not divisible by groups={self.groups}"
+            )
+
+    @property
+    def out_height(self) -> int:
+        return conv_out_size(self.in_height, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_width(self) -> int:
+        return conv_out_size(self.in_width, self.kernel, self.stride, self.padding)
+
+    @property
+    def params(self) -> int:
+        n = (self.out_channels * (self.in_channels // self.groups)
+             * self.kernel * self.kernel)
+        if self.bias:
+            n += self.out_channels
+        return n
+
+    @property
+    def out_elems(self) -> int:
+        return self.out_channels * self.out_height * self.out_width
+
+    # GEMM dims (Figure 6, convolution row).  ``_gemm_groups`` is 1 for
+    # the dense lowering (full channel counts), ``groups`` otherwise.
+    @property
+    def _gemm_groups(self) -> int:
+        return 1 if self.dense_group_lowering else self.groups
+
+    def forward_gemms(self, batch: int) -> list[Gemm]:
+        g = self._gemm_groups
+        pq = self.out_height * self.out_width
+        k = (self.in_channels // g) * self.kernel * self.kernel
+        return [
+            Gemm(batch * pq, k, self.out_channels // g,
+                 count=g, kind=GemmKind.FORWARD, layer=self.name)
+        ]
+
+    def act_grad_gemms(self, batch: int) -> list[Gemm]:
+        g = self._gemm_groups
+        hw = self.in_height * self.in_width
+        k = (self.out_channels // g) * self.kernel * self.kernel
+        return [
+            Gemm(batch * hw, k, self.in_channels // g,
+                 count=g, kind=GemmKind.ACT_GRAD, layer=self.name)
+        ]
+
+    def batch_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        g = self._gemm_groups
+        pq = self.out_height * self.out_width
+        k = (self.in_channels // g) * self.kernel * self.kernel
+        return [
+            Gemm(k, batch * pq, self.out_channels // g,
+                 count=g, kind=GemmKind.WGRAD_BATCH, layer=self.name)
+        ]
+
+    def example_wgrad_gemms(self, batch: int) -> list[Gemm]:
+        g = self._gemm_groups
+        pq = self.out_height * self.out_width
+        k = (self.in_channels // g) * self.kernel * self.kernel
+        return [
+            Gemm(k, pq, self.out_channels // g,
+                 count=batch * g,
+                 kind=GemmKind.WGRAD_EXAMPLE, layer=self.name)
+        ]
+
+
+@dataclass(frozen=True)
+class MatmulOp(Layer):
+    """Weightless batched matmul, e.g. attention ``Q K^T`` / ``A V``.
+
+    ``m``, ``k``, ``n`` describe a single product; ``count`` products are
+    issued *per example* (e.g. one per attention head).  Weight gradients
+    do not exist; the backward pass differentiates both operands:
+    ``dA = dC B^T`` and ``dB = A^T dC``.
+    """
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+
+    @property
+    def out_elems(self) -> int:
+        return self.m * self.n * self.count
+
+    def forward_gemms(self, batch: int) -> list[Gemm]:
+        return [
+            Gemm(self.m, self.k, self.n, count=self.count * batch,
+                 kind=GemmKind.FORWARD, layer=self.name)
+        ]
+
+    def act_grad_gemms(self, batch: int) -> list[Gemm]:
+        c = self.count * batch
+        return [
+            Gemm(self.m, self.n, self.k, count=c,
+                 kind=GemmKind.ACT_GRAD, layer=self.name),
+            Gemm(self.k, self.m, self.n, count=c,
+                 kind=GemmKind.ACT_GRAD, layer=self.name),
+        ]
+
+
+@dataclass(frozen=True)
+class Pool2D(Layer):
+    """Max/average pooling: memory-only, no GEMMs."""
+
+    channels: int
+    in_height: int
+    in_width: int
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    @property
+    def out_height(self) -> int:
+        return conv_out_size(self.in_height, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_width(self) -> int:
+        return conv_out_size(self.in_width, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_elems(self) -> int:
+        return self.channels * self.out_height * self.out_width
+
+
+@dataclass(frozen=True)
+class Elementwise(Layer):
+    """Element-wise op (ReLU, GeLU, softmax, residual add, ...)."""
+
+    elems: int
+
+    @property
+    def out_elems(self) -> int:
+        return self.elems
+
+
+@dataclass(frozen=True)
+class Norm(Layer):
+    """Normalization layer (BatchNorm / LayerNorm) with affine params.
+
+    The scale/shift vectors are learnable and therefore require
+    per-example gradient treatment under DP-SGD; their GEMM-equivalent
+    compute is negligible, so only the parameter count matters.
+    """
+
+    elems: int
+    num_features: int
+
+    @property
+    def params(self) -> int:
+        return 2 * self.num_features
+
+    @property
+    def out_elems(self) -> int:
+        return self.elems
+
+
+@dataclass(frozen=True)
+class Embedding(Layer):
+    """Lookup-table embedding (BERT input embeddings).
+
+    Forward/backward is a gather/scatter handled by the vector/DMA path,
+    not the GEMM engine.  Under DP-SGD frameworks, per-example embedding
+    gradients are materialized *densely* for norm derivation, which is a
+    major contributor to the memory bloat of DP-SGD on Transformers
+    (Section III-A).
+    """
+
+    vocab_size: int
+    dim: int
+    seq_len: int
+
+    @property
+    def params(self) -> int:
+        return self.vocab_size * self.dim
+
+    @property
+    def out_elems(self) -> int:
+        return self.seq_len * self.dim

@@ -1,0 +1,107 @@
+"""Shared builder utilities for the CNN model zoo.
+
+The builders thread spatial dimensions through the layer stack so each
+:class:`~repro.workloads.layer.Conv2D` carries resolved input sizes —
+GEMM extraction (Figure 6) needs concrete P, Q per layer.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Conv2D, Elementwise, Layer, Linear, Norm, Pool2D
+
+
+class CnnStack:
+    """Accumulates CNN layers while tracking the (C, H, W) feature shape."""
+
+    def __init__(self, channels: int, height: int, width: int) -> None:
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.layers: list[Layer] = []
+        self._counter = 0
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    @property
+    def spatial_elems(self) -> int:
+        return self.channels * self.height * self.width
+
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int | None = None,
+        groups: int = 1,
+        batchnorm: bool = True,
+        relu: bool = True,
+        prefix: str = "conv",
+        dense_group_lowering: bool = True,
+    ) -> "CnnStack":
+        """Append conv (+ optional BatchNorm and ReLU), updating the shape."""
+        if padding is None:
+            padding = kernel // 2
+        layer = Conv2D(
+            name=self._name(prefix),
+            in_channels=self.channels,
+            out_channels=out_channels,
+            in_height=self.height,
+            in_width=self.width,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            dense_group_lowering=dense_group_lowering,
+        )
+        self.layers.append(layer)
+        self.channels = out_channels
+        self.height = layer.out_height
+        self.width = layer.out_width
+        if batchnorm:
+            self.layers.append(
+                Norm(self._name("bn"), elems=self.spatial_elems,
+                     num_features=out_channels)
+            )
+        if relu:
+            self.layers.append(Elementwise(self._name("relu"), self.spatial_elems))
+        return self
+
+    def pool(self, kernel: int = 2, stride: int = 2, padding: int = 0) -> "CnnStack":
+        """Append a pooling layer, updating the shape."""
+        layer = Pool2D(
+            name=self._name("pool"),
+            channels=self.channels,
+            in_height=self.height,
+            in_width=self.width,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+        self.layers.append(layer)
+        self.height = layer.out_height
+        self.width = layer.out_width
+        return self
+
+    def global_pool(self) -> "CnnStack":
+        """Global average pooling down to 1x1."""
+        if self.height > 1 or self.width > 1:
+            self.pool(kernel=self.height, stride=self.height)
+        return self
+
+    def residual_add(self) -> "CnnStack":
+        """Element-wise residual addition at the current shape."""
+        self.layers.append(Elementwise(self._name("add"), self.spatial_elems))
+        return self
+
+    def linear(self, out_features: int, relu: bool = False,
+               prefix: str = "fc") -> "CnnStack":
+        """Append a fully connected layer consuming the flattened features."""
+        layer = Linear(self._name(prefix), in_features=self.spatial_elems,
+                       out_features=out_features)
+        self.layers.append(layer)
+        self.channels, self.height, self.width = out_features, 1, 1
+        if relu:
+            self.layers.append(Elementwise(self._name("relu"), out_features))
+        return self

@@ -1,0 +1,86 @@
+"""BERT-base / BERT-large encoders (Devlin et al.).
+
+Sequence length defaults to 32, the paper's baseline for Transformers
+(Section VI-C scales it 2x/4x/8x for the sensitivity study).  Attention
+score/value products are modeled as weightless :class:`MatmulOp`s; all
+projection and feed-forward weights are position-wise
+:class:`SeqLinear` layers (Figure 6's time-series MLP row).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import (
+    Elementwise,
+    Embedding,
+    Layer,
+    Linear,
+    MatmulOp,
+    Norm,
+    SeqLinear,
+)
+from repro.workloads.model import ModelFamily, Network
+
+_CONFIGS = {
+    "BERT-base": {"layers": 12, "hidden": 768, "heads": 12, "ffn": 3072},
+    "BERT-large": {"layers": 24, "hidden": 1024, "heads": 16, "ffn": 4096},
+}
+_VOCAB_SIZE = 30522
+_MAX_POSITIONS = 512
+_TYPE_VOCAB = 2
+
+
+def _encoder_block(idx: int, hidden: int, heads: int, ffn: int,
+                   seq_len: int) -> list[Layer]:
+    """One transformer encoder block."""
+    head_dim = hidden // heads
+    prefix = f"layer{idx}"
+    seq_elems = seq_len * hidden
+    return [
+        SeqLinear(f"{prefix}.q", hidden, hidden, seq_len),
+        SeqLinear(f"{prefix}.k", hidden, hidden, seq_len),
+        SeqLinear(f"{prefix}.v", hidden, hidden, seq_len),
+        MatmulOp(f"{prefix}.qk", m=seq_len, k=head_dim, n=seq_len, count=heads),
+        Elementwise(f"{prefix}.softmax", seq_len * seq_len * heads),
+        MatmulOp(f"{prefix}.av", m=seq_len, k=seq_len, n=head_dim, count=heads),
+        SeqLinear(f"{prefix}.attn_out", hidden, hidden, seq_len),
+        Elementwise(f"{prefix}.attn_residual", seq_elems),
+        Norm(f"{prefix}.attn_ln", elems=seq_elems, num_features=hidden),
+        SeqLinear(f"{prefix}.ffn_up", hidden, ffn, seq_len),
+        Elementwise(f"{prefix}.gelu", seq_len * ffn),
+        SeqLinear(f"{prefix}.ffn_down", ffn, hidden, seq_len),
+        Elementwise(f"{prefix}.ffn_residual", seq_elems),
+        Norm(f"{prefix}.ffn_ln", elems=seq_elems, num_features=hidden),
+    ]
+
+
+def _build(name: str, seq_len: int, num_classes: int) -> Network:
+    cfg = _CONFIGS[name]
+    hidden = cfg["hidden"]
+    layers: list[Layer] = [
+        Embedding("tok_embed", _VOCAB_SIZE, hidden, seq_len),
+        Embedding("pos_embed", _MAX_POSITIONS, hidden, seq_len),
+        Embedding("type_embed", _TYPE_VOCAB, hidden, seq_len),
+        Norm("embed_ln", elems=seq_len * hidden, num_features=hidden),
+    ]
+    for idx in range(cfg["layers"]):
+        layers.extend(
+            _encoder_block(idx, hidden, cfg["heads"], cfg["ffn"], seq_len)
+        )
+    layers.append(Linear("pooler", hidden, hidden))
+    layers.append(Linear("classifier", hidden, num_classes))
+    return Network(
+        name=name,
+        family=ModelFamily.TRANSFORMER,
+        layers=tuple(layers),
+        input_elems=seq_len,
+    )
+
+
+def build_bert_base(seq_len: int = 32, num_classes: int = 2) -> Network:
+    """Build BERT-base: 12 layers, hidden 768, 12 heads."""
+    return _build("BERT-base", seq_len, num_classes)
+
+
+def build_bert_large(seq_len: int = 32, num_classes: int = 2) -> Network:
+    """Build BERT-large: 24 layers, hidden 1024, 16 heads."""
+    return _build("BERT-large", seq_len, num_classes)

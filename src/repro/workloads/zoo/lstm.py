@@ -1,0 +1,55 @@
+"""Character-level LSTM classifiers, after the Opacus char-LSTM example.
+
+The paper cites the Opacus ``char-lstm-classification`` example as the
+source of its LSTM benchmarks but does not publish hyper-parameters;
+we define a small (1-layer) and large (2-layer) configuration whose
+parameter counts bracket the example.  Each LSTM layer contributes two
+weight matrices (input-hidden and hidden-hidden), both mapped to the
+time-series MLP GEMM row of Figure 6, as the paper does (Section III-C,
+footnote on Figure 6: "MLP layer with time-series input, e.g. LSTM").
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Elementwise, Embedding, Layer, Linear, SeqLinear
+from repro.workloads.model import ModelFamily, Network
+
+_CONFIGS = {
+    "LSTM-small": {"embed": 128, "hidden": 256, "layers": 1},
+    "LSTM-large": {"embed": 512, "hidden": 1024, "layers": 2},
+}
+_CHAR_VOCAB = 128
+
+
+def _build(name: str, seq_len: int, num_classes: int) -> Network:
+    cfg = _CONFIGS[name]
+    hidden = cfg["hidden"]
+    layers: list[Layer] = [
+        Embedding("char_embed", _CHAR_VOCAB, cfg["embed"], seq_len),
+    ]
+    in_features = cfg["embed"]
+    for idx in range(cfg["layers"]):
+        prefix = f"lstm{idx}"
+        layers.append(SeqLinear(f"{prefix}.ih", in_features, 4 * hidden, seq_len))
+        layers.append(SeqLinear(f"{prefix}.hh", hidden, 4 * hidden, seq_len))
+        # Gate nonlinearities and cell-state updates.
+        layers.append(Elementwise(f"{prefix}.gates", seq_len * 4 * hidden))
+        layers.append(Elementwise(f"{prefix}.cell", seq_len * hidden))
+        in_features = hidden
+    layers.append(Linear("classifier", hidden, num_classes))
+    return Network(
+        name=name,
+        family=ModelFamily.RNN,
+        layers=tuple(layers),
+        input_elems=seq_len,
+    )
+
+
+def build_lstm_small(seq_len: int = 32, num_classes: int = 10) -> Network:
+    """Build LSTM-small: 1 layer, hidden 256."""
+    return _build("LSTM-small", seq_len, num_classes)
+
+
+def build_lstm_large(seq_len: int = 32, num_classes: int = 10) -> Network:
+    """Build LSTM-large: 2 layers, hidden 1024."""
+    return _build("LSTM-large", seq_len, num_classes)

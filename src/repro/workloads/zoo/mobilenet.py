@@ -1,0 +1,48 @@
+"""MobileNetV1 (Howard et al.) at CIFAR-scale input resolution.
+
+Depthwise-separable convolutions lower to one tiny GEMM per channel
+(grouped convolution with ``groups == channels``), which utilizes
+systolic arrays so poorly that the paper finds GPUs can even beat DiVa
+on this model (Section VI-D) — an important crossover to reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import ModelFamily, Network
+from repro.workloads.zoo._builder import CnnStack
+
+# (out_channels, stride) of each depthwise-separable block.
+_BLOCK_PLAN = ((64, 1), (128, 2), (128, 1), (256, 2), (256, 1),
+               (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+               (1024, 2), (1024, 1))
+
+
+def _separable(stack: CnnStack, out_channels: int, stride: int,
+               dense_groups: bool) -> None:
+    """Depthwise 3x3 (grouped) followed by pointwise 1x1 convolution."""
+    channels = stack.channels
+    stack.conv(channels, kernel=3, stride=stride, groups=channels,
+               prefix="dw", dense_group_lowering=dense_groups)
+    stack.conv(out_channels, kernel=1, padding=0, prefix="pw")
+
+
+def build_mobilenet(input_size: int = 32, num_classes: int = 10,
+                    native_groups: bool = False) -> Network:
+    """Build MobileNetV1: stem conv + 13 depthwise-separable blocks.
+
+    ``native_groups=True`` keeps depthwise stages as per-channel GEMMs
+    (the GPU execution model); the default dense lowering mirrors
+    XLA-on-TPU behaviour (see :class:`repro.workloads.layer.Conv2D`).
+    """
+    stack = CnnStack(3, input_size, input_size)
+    stack.conv(32, kernel=3, stride=2, padding=1)
+    for out_channels, stride in _BLOCK_PLAN:
+        _separable(stack, out_channels, stride, not native_groups)
+    stack.global_pool()
+    stack.linear(num_classes)
+    return Network(
+        name="MobileNet",
+        family=ModelFamily.CNN,
+        layers=tuple(stack.layers),
+        input_elems=3 * input_size * input_size,
+    )

@@ -1,0 +1,66 @@
+"""ResNet-50 / ResNet-152 with bottleneck blocks (He et al.).
+
+ImageNet-style topology instantiated at CIFAR-scale input resolution,
+matching the paper's Section V configuration.  Residual branches are
+flattened into the ordered layer list (the accelerator models consume
+the multiset of GEMMs, not the graph topology).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import ModelFamily, Network
+from repro.workloads.zoo._builder import CnnStack
+
+_STAGE_BLOCKS = {
+    "ResNet-50": (3, 4, 6, 3),
+    "ResNet-152": (3, 8, 36, 3),
+}
+_STAGE_MID = (64, 128, 256, 512)
+
+
+def _bottleneck(stack: CnnStack, mid: int, stride: int) -> None:
+    """One bottleneck block: 1x1 -> 3x3 -> 1x1 (+ projection shortcut)."""
+    in_channels = stack.channels
+    out_channels = 4 * mid
+    in_h, in_w = stack.height, stack.width
+    stack.conv(mid, kernel=1, padding=0)
+    stack.conv(mid, kernel=3, stride=stride)
+    stack.conv(out_channels, kernel=1, padding=0, relu=False)
+    if stride != 1 or in_channels != out_channels:
+        # Projection shortcut operates on the block *input* shape: splice
+        # a 1x1/stride conv as a parallel branch.
+        shortcut = CnnStack(in_channels, in_h, in_w)
+        shortcut._counter = stack._counter + 1000  # keep names unique
+        shortcut.conv(out_channels, kernel=1, stride=stride, padding=0,
+                      relu=False, prefix="downsample")
+        stack.layers.extend(shortcut.layers)
+        stack._counter = shortcut._counter
+    stack.residual_add()
+
+
+def _build(name: str, input_size: int, num_classes: int) -> Network:
+    stack = CnnStack(3, input_size, input_size)
+    stack.conv(64, kernel=7, stride=2, padding=3)
+    stack.pool(kernel=3, stride=2, padding=1)
+    for mid, blocks in zip(_STAGE_MID, _STAGE_BLOCKS[name]):
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and mid != 64) else 1
+            _bottleneck(stack, mid, stride)
+    stack.global_pool()
+    stack.linear(num_classes)
+    return Network(
+        name=name,
+        family=ModelFamily.CNN,
+        layers=tuple(stack.layers),
+        input_elems=3 * input_size * input_size,
+    )
+
+
+def build_resnet50(input_size: int = 32, num_classes: int = 10) -> Network:
+    """Build ResNet-50 (3-4-6-3 bottleneck stages)."""
+    return _build("ResNet-50", input_size, num_classes)
+
+
+def build_resnet152(input_size: int = 32, num_classes: int = 10) -> Network:
+    """Build ResNet-152 (3-8-36-3 bottleneck stages)."""
+    return _build("ResNet-152", input_size, num_classes)

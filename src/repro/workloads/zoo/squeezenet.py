@@ -1,0 +1,53 @@
+"""SqueezeNet v1.1 (Iandola et al.) at CIFAR-scale input resolution.
+
+SqueezeNet's fire modules are dominated by 1x1 convolutions with few
+channels — exactly the small-K GEMM regime where the paper reports its
+largest per-example-gradient utilization win (28.9x, Section VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import ModelFamily, Network
+from repro.workloads.zoo._builder import CnnStack
+
+# (squeeze, expand1x1, expand3x3) per fire module, v1.1 plan.
+_FIRE_PLAN = ((16, 64, 64), (16, 64, 64), "M",
+              (32, 128, 128), (32, 128, 128), "M",
+              (48, 192, 192), (48, 192, 192),
+              (64, 256, 256), (64, 256, 256))
+
+
+def _fire(stack: CnnStack, squeeze: int, expand1: int, expand3: int) -> None:
+    """Fire module: squeeze 1x1, then parallel 1x1 / 3x3 expands (concat)."""
+    stack.conv(squeeze, kernel=1, padding=0, batchnorm=False, prefix="squeeze")
+    in_channels, h, w = stack.channels, stack.height, stack.width
+    stack.conv(expand1, kernel=1, padding=0, batchnorm=False, prefix="expand1x1")
+    # The 3x3 expand consumes the same squeeze output in parallel.
+    branch = CnnStack(in_channels, h, w)
+    branch._counter = stack._counter + 1000
+    branch.conv(expand3, kernel=3, batchnorm=False, prefix="expand3x3")
+    stack.layers.extend(branch.layers)
+    stack._counter = branch._counter
+    # Concatenation of the two expands.
+    stack.channels = expand1 + expand3
+
+
+def build_squeezenet(input_size: int = 32, num_classes: int = 10) -> Network:
+    """Build SqueezeNet v1.1: stem conv, 8 fire modules, 1x1 classifier."""
+    stack = CnnStack(3, input_size, input_size)
+    stack.conv(64, kernel=3, stride=2, padding=1, batchnorm=False)
+    stack.pool(kernel=3, stride=2, padding=1)
+    for item in _FIRE_PLAN:
+        if item == "M":
+            stack.pool(kernel=3, stride=2, padding=1)
+        else:
+            _fire(stack, *item)
+    stack.conv(num_classes, kernel=1, padding=0, batchnorm=False,
+               prefix="classifier")
+    stack.global_pool()
+    return Network(
+        name="SqueezeNet",
+        family=ModelFamily.CNN,
+        layers=tuple(stack.layers),
+        input_elems=3 * input_size * input_size,
+    )

@@ -1,0 +1,33 @@
+"""VGG-16 (Simonyan & Zisserman) adapted to CIFAR-scale inputs.
+
+The paper evaluates DP-SGD for computer vision at CIFAR-10 scale
+(32x32 inputs, Section V); ``input_size`` scales the image for the
+Section VI-C sensitivity study.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import ModelFamily, Network
+from repro.workloads.zoo._builder import CnnStack
+
+_VGG16_PLAN = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+               512, 512, 512, "M", 512, 512, 512, "M")
+
+
+def build_vgg16(input_size: int = 32, num_classes: int = 10) -> Network:
+    """Build VGG-16: 13 conv layers + 3 fully connected layers."""
+    stack = CnnStack(3, input_size, input_size)
+    for item in _VGG16_PLAN:
+        if item == "M":
+            stack.pool()
+        else:
+            stack.conv(int(item))
+    stack.linear(4096, relu=True)
+    stack.linear(4096, relu=True)
+    stack.linear(num_classes)
+    return Network(
+        name="VGG-16",
+        family=ModelFamily.CNN,
+        layers=tuple(stack.layers),
+        input_elems=3 * input_size * input_size,
+    )

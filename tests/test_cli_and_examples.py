@@ -1,0 +1,53 @@
+"""Smoke tests: the CLI and every example script run end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as cli_main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCli:
+    def test_models(self, capsys):
+        assert cli_main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-152" in out
+        assert "BERT-large" in out
+
+    def test_experiments_listing(self, capsys):
+        assert cli_main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert cli_main(["run", "table1"]) == 0
+        assert "2816" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+
+    def test_simulate(self, capsys):
+        assert cli_main(["simulate", "SqueezeNet", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "DiVa" in out
+
+
+@pytest.mark.parametrize("script,arg", [
+    ("quickstart.py", "SqueezeNet"),
+    ("workload_characterization.py", "LSTM-small"),
+    ("accelerator_comparison.py", "SqueezeNet"),
+    ("dp_training.py", None),
+])
+def test_example_runs(script, arg):
+    cmd = [sys.executable, str(EXAMPLES / script)]
+    if arg:
+        cmd.append(arg)
+    result = subprocess.run(cmd, capture_output=True, text=True,
+                            timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

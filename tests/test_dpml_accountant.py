@@ -1,0 +1,161 @@
+"""Tests for the RDP accountant (repro.dpml.accountant)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpml import (
+    DEFAULT_ORDERS,
+    RdpAccountant,
+    compute_rdp,
+    noise_multiplier_for_epsilon,
+    rdp_sampled_gaussian,
+    rdp_to_epsilon,
+)
+
+
+class TestRdpClosedForms:
+    def test_q_zero_is_free(self):
+        assert rdp_sampled_gaussian(0.0, 1.0, 8) == 0.0
+
+    def test_q_one_is_gaussian(self):
+        """q=1 reduces to the Gaussian mechanism: alpha / (2 sigma^2)."""
+        for order in (2, 8, 32):
+            for sigma in (0.5, 1.0, 4.0):
+                assert rdp_sampled_gaussian(1.0, sigma, order) == \
+                    pytest.approx(order / (2 * sigma**2))
+
+    def test_sigma_zero_infinite(self):
+        assert rdp_sampled_gaussian(0.5, 0.0, 4) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rdp_sampled_gaussian(1.5, 1.0, 4)
+        with pytest.raises(ValueError):
+            rdp_sampled_gaussian(0.5, 1.0, 1)
+        with pytest.raises(ValueError):
+            rdp_sampled_gaussian(0.5, 1.0, 2.5)
+
+
+class TestRdpMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(q=st.floats(0.001, 0.5), sigma=st.floats(0.5, 8.0),
+           order=st.sampled_from([2, 4, 8, 16, 64]))
+    def test_increasing_in_q(self, q, sigma, order):
+        assert (rdp_sampled_gaussian(q, sigma, order)
+                <= rdp_sampled_gaussian(min(1.0, q * 1.5), sigma, order)
+                + 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=st.floats(0.001, 0.5), sigma=st.floats(0.5, 8.0),
+           order=st.sampled_from([2, 4, 8, 16]))
+    def test_decreasing_in_sigma(self, q, sigma, order):
+        assert (rdp_sampled_gaussian(q, sigma, order)
+                >= rdp_sampled_gaussian(q, sigma * 2, order) - 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=st.floats(0.001, 0.3), sigma=st.floats(0.5, 4.0))
+    def test_nonnegative(self, q, sigma):
+        assert rdp_sampled_gaussian(q, sigma, 8) >= 0.0
+
+
+class TestComposition:
+    def test_linear_in_steps(self):
+        one = compute_rdp(0.01, 1.0, 1)
+        many = compute_rdp(0.01, 1.0, 500)
+        np.testing.assert_allclose(many, 500 * one)
+
+    def test_zero_steps(self):
+        np.testing.assert_allclose(compute_rdp(0.01, 1.0, 0), 0.0)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            compute_rdp(0.01, 1.0, -1)
+
+
+class TestConversion:
+    def test_validation(self):
+        rdp = compute_rdp(0.01, 1.0, 10)
+        with pytest.raises(ValueError):
+            rdp_to_epsilon(DEFAULT_ORDERS, rdp, delta=0.0)
+        with pytest.raises(ValueError):
+            rdp_to_epsilon((2, 3), rdp, delta=1e-5)
+
+    def test_epsilon_grows_with_steps(self):
+        eps = [
+            rdp_to_epsilon(DEFAULT_ORDERS,
+                           compute_rdp(0.01, 1.0, steps), 1e-5)[0]
+            for steps in (10, 100, 1000)
+        ]
+        assert eps[0] < eps[1] < eps[2]
+
+    def test_epsilon_shrinks_with_sigma(self):
+        eps = [
+            rdp_to_epsilon(DEFAULT_ORDERS,
+                           compute_rdp(0.01, sigma, 1000), 1e-5)[0]
+            for sigma in (0.8, 1.5, 4.0)
+        ]
+        assert eps[0] > eps[1] > eps[2]
+
+    def test_reference_value(self):
+        """The canonical TF-Privacy example: q=0.01, sigma=1.1,
+        10k steps, delta=1e-5 gives epsilon in the low single digits."""
+        rdp = compute_rdp(0.01, 1.1, 10_000)
+        eps, order = rdp_to_epsilon(DEFAULT_ORDERS, rdp, 1e-5)
+        assert 3.0 < eps < 9.0
+        assert order in DEFAULT_ORDERS
+
+
+class TestAccountant:
+    def test_zero_steps_zero_epsilon(self):
+        acct = RdpAccountant(0.01, 1.0)
+        assert acct.epsilon(1e-5) == 0.0
+
+    def test_record_accumulates(self):
+        acct = RdpAccountant(0.02, 1.0)
+        acct.record_steps(10)
+        early = acct.epsilon(1e-5)
+        acct.record_steps(990)
+        assert acct.epsilon(1e-5) > early
+        assert acct.steps == 1000
+
+    def test_matches_direct_computation(self):
+        acct = RdpAccountant(0.05, 1.2)
+        acct.record_steps(250)
+        direct = rdp_to_epsilon(DEFAULT_ORDERS,
+                                compute_rdp(0.05, 1.2, 250), 1e-5)[0]
+        assert acct.epsilon(1e-5) == pytest.approx(direct)
+
+    def test_privacy_spent_pair(self):
+        acct = RdpAccountant(0.01, 1.0)
+        acct.record_steps(5)
+        eps, delta = acct.privacy_spent(1e-6)
+        assert delta == 1e-6
+        assert eps > 0
+
+    def test_negative_record_rejected(self):
+        with pytest.raises(ValueError):
+            RdpAccountant(0.01, 1.0).record_steps(-1)
+
+
+class TestNoiseCalibration:
+    def test_inverse_property(self):
+        """The calibrated sigma achieves (just under) the target."""
+        target = 4.0
+        sigma = noise_multiplier_for_epsilon(target, 1e-5, 0.02, 1000)
+        rdp = compute_rdp(0.02, sigma, 1000)
+        eps, _ = rdp_to_epsilon(DEFAULT_ORDERS, rdp, 1e-5)
+        assert eps <= target
+        assert eps > target * 0.8  # not wastefully noisy
+
+    def test_tighter_target_needs_more_noise(self):
+        loose = noise_multiplier_for_epsilon(8.0, 1e-5, 0.02, 1000)
+        tight = noise_multiplier_for_epsilon(1.0, 1e-5, 0.02, 1000)
+        assert tight > loose
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            noise_multiplier_for_epsilon(0.0, 1e-5, 0.02, 100)

@@ -1,0 +1,194 @@
+"""Tests for the DP-SGD optimizers (repro.dpml.dpsgd) — Algorithm 1."""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpml import (
+    Conv2D,
+    Dense,
+    DpSgdOptimizer,
+    Flatten,
+    GradMode,
+    PrivacyParams,
+    ReLU,
+    Sequential,
+    clip_scales,
+    softmax_cross_entropy,
+    synthetic_classification,
+    synthetic_images,
+)
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Dense(16, 32, rng=rng), ReLU(), Dense(32, 4, rng=rng),
+    ])
+
+
+def conv_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2D(2, 4, rng=rng), ReLU(), Flatten(),
+        Dense(4 * 6 * 6, 3, rng=rng),
+    ])
+
+
+class TestClipScales:
+    @given(norms=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=64),
+           clip=st.floats(0.1, 100.0))
+    def test_clipped_norms_bounded(self, norms, clip):
+        """Algorithm 1 line 23: after clipping, ||g_i|| <= C."""
+        sq = np.array(norms) ** 2
+        scales = clip_scales(sq, clip)
+        clipped = np.sqrt(sq) * scales
+        assert np.all(clipped <= clip * (1 + 1e-9))
+
+    @given(norms=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=64))
+    def test_small_gradients_untouched(self, norms):
+        """Gradients under the threshold are not scaled."""
+        sq = np.array(norms) ** 2
+        scales = clip_scales(sq, clip_norm=1e9)
+        np.testing.assert_allclose(scales, 1.0)
+
+    def test_exact_scale(self):
+        scales = clip_scales(np.array([16.0]), clip_norm=2.0)
+        assert scales[0] == pytest.approx(0.5)
+
+
+class TestAlgorithmEquivalence:
+    """DP-SGD and DP-SGD(R) are algebraically identical (Algorithm 1)."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), clip=st.floats(0.1, 5.0))
+    def test_dense_net_updates_identical(self, seed, clip):
+        data = synthetic_classification(64, 16, 4, seed=seed)
+        x, y = data.x[:16], data.y[:16]
+        net_a, net_b = small_net(seed), small_net(seed)
+        privacy = PrivacyParams(clip_norm=clip, noise_multiplier=1.0)
+        opt_a = DpSgdOptimizer(net_a, privacy=privacy,
+                               rng=np.random.default_rng(seed))
+        opt_b = DpSgdOptimizer(net_b, privacy=privacy,
+                               rng=np.random.default_rng(seed))
+        opt_a.step_dpsgd(x, y)
+        opt_b.step_reweighted(x, y)
+        for la, lb in zip(net_a.weight_layers, net_b.weight_layers):
+            for name in la.params:
+                np.testing.assert_allclose(la.params[name], lb.params[name],
+                                           atol=1e-9)
+
+    def test_conv_net_updates_identical(self):
+        data = synthetic_images(32, 2, 6, 3, seed=3)
+        x, y = data.x[:8], data.y[:8]
+        net_a, net_b = conv_net(3), conv_net(3)
+        opt_a = DpSgdOptimizer(net_a, rng=np.random.default_rng(9))
+        opt_b = DpSgdOptimizer(net_b, rng=np.random.default_rng(9))
+        ra = opt_a.step_dpsgd(x, y)
+        rb = opt_b.step_reweighted(x, y)
+        assert ra.mean_loss == pytest.approx(rb.mean_loss)
+        assert ra.mean_grad_norm == pytest.approx(rb.mean_grad_norm)
+        assert ra.clipped_fraction == rb.clipped_fraction
+        for la, lb in zip(net_a.weight_layers, net_b.weight_layers):
+            for name in la.params:
+                np.testing.assert_allclose(la.params[name], lb.params[name],
+                                           atol=1e-9)
+
+    def test_same_result_means_same_telemetry(self):
+        data = synthetic_classification(32, 16, 4, seed=1)
+        net = small_net(1)
+        opt = DpSgdOptimizer(net, rng=np.random.default_rng(0))
+        result = opt.step_dpsgd(data.x[:8], data.y[:8])
+        assert 0.0 <= result.clipped_fraction <= 1.0
+        assert result.mean_grad_norm > 0
+
+
+class TestNoiseBehaviour:
+    def test_zero_noise_deterministic(self):
+        data = synthetic_classification(32, 16, 4, seed=2)
+        privacy = PrivacyParams(clip_norm=1.0, noise_multiplier=0.0)
+        nets = [small_net(5), small_net(5)]
+        for net in nets:
+            DpSgdOptimizer(net, privacy=privacy,
+                           rng=np.random.default_rng(123)).step_dpsgd(
+                data.x[:8], data.y[:8])
+        for la, lb in zip(nets[0].weight_layers, nets[1].weight_layers):
+            np.testing.assert_array_equal(la.params["weight"],
+                                          lb.params["weight"])
+
+    def test_noise_perturbs_update(self):
+        data = synthetic_classification(32, 16, 4, seed=2)
+        quiet, noisy = small_net(5), small_net(5)
+        DpSgdOptimizer(
+            quiet, privacy=PrivacyParams(1.0, 0.0),
+            rng=np.random.default_rng(1)).step_dpsgd(data.x[:8], data.y[:8])
+        DpSgdOptimizer(
+            noisy, privacy=PrivacyParams(1.0, 5.0),
+            rng=np.random.default_rng(1)).step_dpsgd(data.x[:8], data.y[:8])
+        diff = np.abs(quiet.weight_layers[0].params["weight"]
+                      - noisy.weight_layers[0].params["weight"]).max()
+        assert diff > 1e-6
+
+    def test_noise_scale_uses_clip_norm(self):
+        """Algorithm 1 line 24: noise is N(0, sigma^2 C^2 I)."""
+        net = small_net(0)
+        opt = DpSgdOptimizer(
+            net, privacy=PrivacyParams(clip_norm=3.0, noise_multiplier=2.0),
+            rng=np.random.default_rng(0))
+        samples = opt._noise_like(np.zeros(200_000))
+        assert samples.std() == pytest.approx(6.0, rel=0.02)
+
+
+class TestPrivacyParams:
+    def test_rejects_bad_clip(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(clip_norm=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(noise_multiplier=-1.0)
+
+
+class TestSgdBaseline:
+    def test_loss_decreases(self):
+        data = synthetic_classification(128, 16, 4, seed=4, separation=3.0)
+        net = small_net(7)
+        opt = DpSgdOptimizer(net, lr=0.05)
+        first = opt.step_sgd(data.x[:64], data.y[:64]).mean_loss
+        for _ in range(30):
+            last = opt.step_sgd(data.x[:64], data.y[:64]).mean_loss
+        assert last < first
+
+    def test_steps_counted(self):
+        data = synthetic_classification(32, 16, 4)
+        net = small_net(0)
+        opt = DpSgdOptimizer(net)
+        opt.step_sgd(data.x[:8], data.y[:8])
+        opt.step_dpsgd(data.x[:8], data.y[:8])
+        opt.step_reweighted(data.x[:8], data.y[:8])
+        assert opt.steps_taken == 3
+
+
+class TestClippingInvariantEndToEnd:
+    def test_summed_update_bounded_by_clip(self):
+        """With zero noise, ||sum of clipped grads|| <= B * C."""
+        data = synthetic_classification(64, 16, 4, seed=8, separation=10.0)
+        net = small_net(11)
+        clip = 0.5
+        batch = 16
+        x, y = data.x[:batch], data.y[:batch]
+        logits = net.forward(x)
+        _, d = softmax_cross_entropy(logits, y)
+        net.backward(d, mode=GradMode.PER_EXAMPLE)
+        sq = net.per_example_sq_norms()
+        scales = clip_scales(sq, clip)
+        total_sq = 0.0
+        for layer in net.weight_layers:
+            for per_ex in layer.per_example_grads.values():
+                shape = (batch,) + (1,) * (per_ex.ndim - 1)
+                summed = (per_ex * scales.reshape(shape)).sum(axis=0)
+                total_sq += float((summed ** 2).sum())
+        assert np.sqrt(total_sq) <= batch * clip * (1 + 1e-9)

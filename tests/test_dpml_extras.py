@@ -1,0 +1,291 @@
+"""Tests for the extended dpml layers: LSTM, Embedding, LayerNorm, MaxPool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpml import (
+    LSTM,
+    Dense,
+    DpSgdOptimizer,
+    Embedding,
+    GradMode,
+    LayerNorm,
+    MaxPool2D,
+    MeanOverTime,
+    PrivacyParams,
+    Sequential,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_weight_grad(layer, x, grad_out, name, eps=1e-6):
+    param = layer.params[name]
+    numeric = np.zeros_like(param)
+    flat, num = param.reshape(-1), numeric.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float((layer.forward(x, train=False) * grad_out).sum())
+        flat[i] = orig - eps
+        down = float((layer.forward(x, train=False) * grad_out).sum())
+        flat[i] = orig
+        num[i] = (up - down) / (2 * eps)
+    return numeric
+
+
+class TestLstmForward:
+    def test_output_shape(self):
+        lstm = LSTM(6, 8, rng=RNG)
+        y = lstm.forward(RNG.normal(size=(3, 5, 6)))
+        assert y.shape == (3, 5, 8)
+
+    def test_input_validation(self):
+        lstm = LSTM(6, 8, rng=RNG)
+        with pytest.raises(ValueError):
+            lstm.forward(RNG.normal(size=(3, 6)))
+
+    def test_hidden_bounded_by_tanh(self):
+        lstm = LSTM(4, 4, rng=RNG)
+        y = lstm.forward(RNG.normal(size=(2, 10, 4)) * 10)
+        assert np.all(np.abs(y) <= 1.0)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            LSTM(2, 2).backward(np.zeros((1, 1, 2)))
+
+
+class TestLstmGradients:
+    def _setup(self, seed=1, batch=3, seq=4, inp=3, hid=5):
+        rng = np.random.default_rng(seed)
+        lstm = LSTM(inp, hid, rng=rng)
+        x = rng.normal(size=(batch, seq, inp))
+        g = rng.normal(size=(batch, seq, hid))
+        return lstm, x, g
+
+    @pytest.mark.parametrize("name", ["weight_ih", "weight_hh", "bias"])
+    def test_weight_grads_match_finite_diff(self, name):
+        lstm, x, g = self._setup()
+        lstm.forward(x)
+        lstm.backward(g, mode=GradMode.BATCH)
+        numeric = numeric_weight_grad(lstm, x, g, name)
+        np.testing.assert_allclose(lstm.grads[name], numeric, atol=1e-5)
+
+    def test_input_grad_matches_finite_diff(self):
+        lstm, x, g = self._setup(batch=2, seq=3)
+        lstm.forward(x)
+        dx = lstm.backward(g)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(*x.shape):
+            xp = x.copy()
+            xp[idx] += eps
+            up = float((lstm.forward(xp, train=False) * g).sum())
+            xp[idx] -= 2 * eps
+            down = float((lstm.forward(xp, train=False) * g).sum())
+            numeric[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(dx, numeric, atol=1e-5)
+
+    def test_per_example_grads_sum_to_batch(self):
+        lstm, x, g = self._setup()
+        lstm.forward(x)
+        lstm.backward(g, mode=GradMode.PER_EXAMPLE)
+        for name in ("weight_ih", "weight_hh", "bias"):
+            np.testing.assert_allclose(
+                lstm.per_example_grads[name].sum(axis=0),
+                lstm.grads[name], atol=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_ghost_norm_equals_direct(self, seed):
+        lstm, x, g = self._setup(seed=seed)
+        lstm.forward(x)
+        lstm.backward(g, mode=GradMode.PER_EXAMPLE)
+        direct = lstm.sq_norms.copy()
+        lstm.forward(x)
+        lstm.backward(g, mode=GradMode.GHOST_NORM)
+        np.testing.assert_allclose(lstm.sq_norms, direct, rtol=1e-8)
+
+    def test_ghost_mode_materializes_nothing(self):
+        lstm, x, g = self._setup()
+        lstm.forward(x)
+        lstm.backward(g, mode=GradMode.GHOST_NORM)
+        assert lstm.per_example_grads == {}
+
+
+class TestLstmDpTraining:
+    def test_dpsgd_equals_reweighted_on_char_lstm(self):
+        """The Opacus char-LSTM scenario, end to end."""
+        rng = np.random.default_rng(4)
+        vocab, seq, hid, classes, batch = 20, 6, 8, 3, 5
+        tokens = rng.integers(0, vocab, size=(batch, seq))
+        labels = rng.integers(0, classes, size=batch)
+
+        def build():
+            r = np.random.default_rng(7)
+            return Sequential([
+                Embedding(vocab, 6, rng=r),
+                LSTM(6, hid, rng=r),
+                MeanOverTime(),
+                Dense(hid, classes, rng=r),
+            ])
+
+        nets = [build(), build()]
+        opts = [DpSgdOptimizer(n, privacy=PrivacyParams(1.0, 1.0),
+                               rng=np.random.default_rng(11)) for n in nets]
+        opts[0].step_dpsgd(tokens, labels)
+        opts[1].step_reweighted(tokens, labels)
+        for la, lb in zip(nets[0].weight_layers, nets[1].weight_layers):
+            for name in la.params:
+                np.testing.assert_allclose(la.params[name], lb.params[name],
+                                           atol=1e-9)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        tokens = np.array([[1, 2], [3, 1]])
+        out = emb.forward(tokens)
+        np.testing.assert_allclose(out[0, 0], emb.params["weight"][1])
+
+    def test_out_of_range(self):
+        emb = Embedding(10, 4, rng=RNG)
+        with pytest.raises(ValueError):
+            emb.forward(np.array([[11]]))
+
+    def test_batch_grad_scatter(self):
+        emb = Embedding(5, 3, rng=RNG)
+        tokens = np.array([[0, 0], [2, 4]])
+        emb.forward(tokens)
+        g = np.ones((2, 2, 3))
+        emb.backward(g, mode=GradMode.BATCH)
+        np.testing.assert_allclose(emb.grads["weight"][0], [2, 2, 2])
+        np.testing.assert_allclose(emb.grads["weight"][1], 0)
+
+    def test_per_example_norms(self):
+        emb = Embedding(5, 3, rng=RNG)
+        tokens = np.array([[0, 1], [2, 2]])
+        emb.forward(tokens)
+        g = RNG.normal(size=(2, 2, 3))
+        emb.backward(g, mode=GradMode.PER_EXAMPLE)
+        # Example 1 scatters both timesteps onto row 2 -> they add up.
+        expected = float(((g[1, 0] + g[1, 1]) ** 2).sum())
+        assert emb.sq_norms[1] == pytest.approx(expected)
+
+    def test_ghost_equals_direct(self):
+        emb = Embedding(6, 4, rng=RNG)
+        tokens = np.array([[0, 1, 0], [2, 3, 3]])
+        emb.forward(tokens)
+        g = RNG.normal(size=(2, 3, 4))
+        emb.backward(g, mode=GradMode.PER_EXAMPLE)
+        direct = emb.sq_norms.copy()
+        emb.forward(tokens)
+        emb.backward(g, mode=GradMode.GHOST_NORM)
+        np.testing.assert_allclose(emb.sq_norms, direct)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = LayerNorm(8)
+        y = ln.forward(RNG.normal(size=(4, 8)) * 5 + 3)
+        np.testing.assert_allclose(y.mean(axis=-1), 0, atol=1e-10)
+        np.testing.assert_allclose(y.std(axis=-1), 1, atol=1e-3)
+
+    def test_affine_grads_match_finite_diff(self):
+        ln = LayerNorm(5)
+        ln.params["gamma"] = RNG.normal(size=5)
+        ln.params["beta"] = RNG.normal(size=5)
+        x = RNG.normal(size=(3, 5))
+        g = RNG.normal(size=(3, 5))
+        ln.forward(x)
+        ln.backward(g, mode=GradMode.BATCH)
+        for name in ("gamma", "beta"):
+            numeric = numeric_weight_grad(ln, x, g, name)
+            np.testing.assert_allclose(ln.grads[name], numeric, atol=1e-5)
+
+    def test_input_grad_matches_finite_diff(self):
+        ln = LayerNorm(4)
+        x = RNG.normal(size=(2, 4))
+        g = RNG.normal(size=(2, 4))
+        ln.forward(x)
+        dx = ln.backward(g)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(*x.shape):
+            xp = x.copy()
+            xp[idx] += eps
+            up = float((ln.forward(xp, train=False) * g).sum())
+            xp[idx] -= 2 * eps
+            down = float((ln.forward(xp, train=False) * g).sum())
+            numeric[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(dx, numeric, atol=1e-5)
+
+    def test_sequence_input_per_example_norms(self):
+        ln = LayerNorm(4)
+        x = RNG.normal(size=(2, 3, 4))
+        ln.forward(x)
+        ln.backward(RNG.normal(size=(2, 3, 4)), mode=GradMode.GHOST_NORM)
+        assert ln.sq_norms.shape == (2,)
+        assert np.all(ln.sq_norms >= 0)
+
+
+class TestMaxPool2D:
+    def test_forward_max(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = pool.forward(x)
+        np.testing.assert_allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        dx = pool.backward(np.ones((1, 1, 2, 2)))
+        assert dx[0, 0, 1, 1] == 1.0  # position of 5
+        assert dx[0, 0, 0, 0] == 0.0
+        assert dx.sum() == 4.0
+
+    def test_gradient_conserved(self):
+        pool = MaxPool2D(2)
+        x = RNG.normal(size=(2, 3, 6, 6))
+        pool.forward(x)
+        g = RNG.normal(size=(2, 3, 3, 3))
+        assert pool.backward(g).sum() == pytest.approx(g.sum())
+
+
+class TestMomentum:
+    def test_invalid_momentum(self):
+        net = Sequential([Dense(2, 2, rng=RNG)])
+        with pytest.raises(ValueError):
+            DpSgdOptimizer(net, momentum=1.0)
+
+    def test_momentum_accumulates(self):
+        """Two identical steps: with momentum, the 2nd moves further."""
+        from repro.dpml import synthetic_classification
+
+        data = synthetic_classification(16, 4, 2, seed=0)
+        x, y = data.x[:8], data.y[:8]
+
+        def run(momentum):
+            rng = np.random.default_rng(1)
+            net = Sequential([Dense(4, 2, rng=rng)])
+            w0 = net.weight_layers[0].params["weight"].copy()
+            opt = DpSgdOptimizer(net, lr=0.1, momentum=momentum,
+                                 privacy=PrivacyParams(1.0, 0.0),
+                                 rng=np.random.default_rng(0))
+            first = None
+            for _ in range(2):
+                before = net.weight_layers[0].params["weight"].copy()
+                opt.step_dpsgd(x, y)
+                moved = np.abs(net.weight_layers[0].params["weight"]
+                               - before).sum()
+                if first is None:
+                    first = moved
+            return first, moved
+
+        _, plain_second = run(0.0)
+        _, momentum_second = run(0.9)
+        assert momentum_second > plain_second

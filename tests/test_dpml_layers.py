@@ -1,0 +1,259 @@
+"""Tests for the functional NumPy layers (repro.dpml.layers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpml import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GradMode,
+    MeanOverTime,
+    ReLU,
+    SeqDense,
+    Sequential,
+    col2im,
+    im2col,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def finite_diff_weight_grad(layer, x, grad_out, name, eps=1e-6):
+    """Numeric gradient of sum(grad_out * forward(x)) wrt a parameter."""
+    param = layer.params[name]
+    numeric = np.zeros_like(param)
+    flat = param.reshape(-1)
+    num_flat = numeric.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float((layer.forward(x, train=False) * grad_out).sum())
+        flat[i] = orig - eps
+        down = float((layer.forward(x, train=False) * grad_out).sum())
+        flat[i] = orig
+        num_flat[i] = (up - down) / (2 * eps)
+    return numeric
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=RNG)
+        assert layer.forward(RNG.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_weight_grad_matches_finite_diff(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(1))
+        x = RNG.normal(size=(4, 3))
+        g = RNG.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.BATCH)
+        numeric = finite_diff_weight_grad(layer, x, g, "weight")
+        np.testing.assert_allclose(layer.grads["weight"], numeric, atol=1e-5)
+
+    def test_bias_grad_matches_finite_diff(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(1))
+        x = RNG.normal(size=(4, 3))
+        g = RNG.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.BATCH)
+        numeric = finite_diff_weight_grad(layer, x, g, "bias")
+        np.testing.assert_allclose(layer.grads["bias"], numeric, atol=1e-5)
+
+    def test_input_grad_matches_finite_diff(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(1))
+        x = RNG.normal(size=(2, 3))
+        g = RNG.normal(size=(2, 2))
+        layer.forward(x)
+        dx = layer.backward(g)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(*x.shape):
+            xp = x.copy()
+            xp[idx] += eps
+            up = float((layer.forward(xp, train=False) * g).sum())
+            xp[idx] -= 2 * eps
+            down = float((layer.forward(xp, train=False) * g).sum())
+            numeric[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(dx, numeric, atol=1e-5)
+
+    def test_per_example_grads_sum_to_batch(self):
+        layer = Dense(5, 4, rng=RNG)
+        x = RNG.normal(size=(8, 5))
+        g = RNG.normal(size=(8, 4))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.PER_EXAMPLE)
+        np.testing.assert_allclose(
+            layer.per_example_grads["weight"].sum(axis=0),
+            layer.grads["weight"], atol=1e-10)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.ones((1, 2)))
+
+
+class TestGhostNorms:
+    """The reweighting trick's core identity (Lee & Kifer)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(batch=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_dense_ghost_equals_direct(self, batch, seed):
+        rng = np.random.default_rng(seed)
+        layer = Dense(6, 5, rng=rng)
+        x = rng.normal(size=(batch, 6))
+        g = rng.normal(size=(batch, 5))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.PER_EXAMPLE)
+        direct = layer.sq_norms.copy()
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.GHOST_NORM)
+        np.testing.assert_allclose(layer.sq_norms, direct, rtol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_seq_dense_ghost_equals_direct(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = SeqDense(5, 4, rng=rng)
+        x = rng.normal(size=(3, 7, 5))
+        g = rng.normal(size=(3, 7, 4))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.PER_EXAMPLE)
+        direct = layer.sq_norms.copy()
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.GHOST_NORM)
+        np.testing.assert_allclose(layer.sq_norms, direct, rtol=1e-9)
+
+    def test_conv_ghost_equals_direct(self):
+        rng = np.random.default_rng(7)
+        layer = Conv2D(2, 3, kernel=3, rng=rng)
+        x = rng.normal(size=(4, 2, 6, 6))
+        g = rng.normal(size=(4, 3, 6, 6))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.PER_EXAMPLE)
+        direct = layer.sq_norms.copy()
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.GHOST_NORM)
+        np.testing.assert_allclose(layer.sq_norms, direct, rtol=1e-9)
+
+    def test_ghost_mode_stores_no_gradients(self):
+        """The memory win of DP-SGD(R): nothing materialized."""
+        layer = Dense(4, 4, rng=RNG)
+        x = RNG.normal(size=(2, 4))
+        layer.forward(x)
+        layer.backward(RNG.normal(size=(2, 4)), mode=GradMode.GHOST_NORM)
+        assert layer.per_example_grads == {}
+        assert "weight" not in layer.grads
+
+
+class TestConv2D:
+    def test_forward_matches_explicit_convolution(self):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(1, 1, kernel=3, stride=1, padding=0, bias=False,
+                       rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5))
+        y = layer.forward(x, train=False)
+        w = layer.params["weight"].reshape(3, 3)
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = (x[0, 0, i:i + 3, j:j + 3] * w).sum()
+        np.testing.assert_allclose(y[0, 0], expected, atol=1e-12)
+
+    def test_weight_grad_matches_finite_diff(self):
+        layer = Conv2D(2, 2, kernel=3, rng=np.random.default_rng(5))
+        x = RNG.normal(size=(2, 2, 4, 4))
+        g = RNG.normal(size=(2, 2, 4, 4))
+        layer.forward(x)
+        layer.backward(g, mode=GradMode.BATCH)
+        numeric = finite_diff_weight_grad(layer, x, g, "weight")
+        np.testing.assert_allclose(layer.grads["weight"], numeric, atol=1e-4)
+
+    def test_channel_validation(self):
+        layer = Conv2D(3, 4, rng=RNG)
+        with pytest.raises(ValueError):
+            layer.forward(RNG.normal(size=(1, 2, 8, 8)))
+
+    def test_stride_output_shape(self):
+        layer = Conv2D(3, 8, kernel=3, stride=2, padding=1, rng=RNG)
+        y = layer.forward(RNG.normal(size=(2, 3, 8, 8)))
+        assert y.shape == (2, 8, 4, 4)
+
+
+class TestIm2Col:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_col2im_is_adjoint(self, seed):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint
+        property that makes the conv backward pass correct."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, kernel=3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_patch_content(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols = im2col(x, kernel=2, stride=2, padding=0)
+        np.testing.assert_allclose(cols[0, 0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[0, 3], [10, 11, 14, 15])
+
+
+class TestStatelessLayers:
+    def test_relu_masks_gradient(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        y = relu.forward(x)
+        np.testing.assert_allclose(y, [[0, 2, 0, 4]])
+        dx = relu.backward(np.ones_like(x))
+        np.testing.assert_allclose(dx, [[0, 1, 0, 1]])
+
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = RNG.normal(size=(3, 2, 4, 4))
+        y = flat.forward(x)
+        assert y.shape == (3, 32)
+        assert flat.backward(y).shape == x.shape
+
+    def test_avgpool_forward(self):
+        pool = AvgPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = pool.forward(x)
+        assert y[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avgpool_backward_conserves_gradient(self):
+        pool = AvgPool2D(2)
+        x = RNG.normal(size=(2, 3, 4, 4))
+        pool.forward(x)
+        g = RNG.normal(size=(2, 3, 2, 2))
+        dx = pool.backward(g)
+        assert dx.sum() == pytest.approx(g.sum())
+
+    def test_mean_over_time(self):
+        mot = MeanOverTime()
+        x = RNG.normal(size=(2, 5, 3))
+        y = mot.forward(x)
+        np.testing.assert_allclose(y, x.mean(axis=1))
+        dx = mot.backward(np.ones((2, 3)))
+        np.testing.assert_allclose(dx, np.full((2, 5, 3), 1 / 5))
+
+
+class TestSequential:
+    def test_param_count(self):
+        net = Sequential([Dense(4, 8, rng=RNG), ReLU(), Dense(8, 2, rng=RNG)])
+        assert net.param_count() == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_norms_require_backward(self):
+        net = Sequential([Dense(4, 2, rng=RNG)])
+        net.forward(RNG.normal(size=(2, 4)))
+        with pytest.raises(RuntimeError):
+            net.per_example_sq_norms()
+
+    def test_no_weight_layers_raises(self):
+        net = Sequential([ReLU()])
+        with pytest.raises(RuntimeError):
+            net.per_example_sq_norms()

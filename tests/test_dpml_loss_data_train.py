@@ -1,0 +1,150 @@
+"""Tests for loss, datasets and the end-to-end DP training loop."""
+
+import numpy as np
+import pytest
+
+from repro.dpml import (
+    Dataset,
+    Dense,
+    ReLU,
+    Sequential,
+    accuracy,
+    evaluate,
+    softmax,
+    softmax_cross_entropy,
+    synthetic_classification,
+    synthetic_images,
+    synthetic_sequences,
+    train_dpsgd,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        logits = RNG.normal(size=(8, 5)) * 30
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0)
+
+    def test_loss_gradient_finite_diff(self):
+        logits = RNG.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 2])
+        _, grads = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in np.ndindex(*logits.shape):
+            up = logits.copy()
+            up[idx] += eps
+            down = logits.copy()
+            down[idx] -= eps
+            l_up, _ = softmax_cross_entropy(up, labels)
+            l_down, _ = softmax_cross_entropy(down, labels)
+            numeric = (l_up.sum() - l_down.sum()) / (2 * eps)
+            assert grads[idx] == pytest.approx(numeric, abs=1e-5)
+
+    def test_per_example_losses(self):
+        logits = np.array([[10.0, 0.0], [0.0, 10.0]])
+        losses, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert losses.shape == (2,)
+        assert np.all(losses < 0.01)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((2, 3, 4)).reshape(2, -1)[:, :3],
+                                  np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones(6).reshape(2, 3),
+                                  np.array([0, 1, 2]))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestDatasets:
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.ones((3, 2)), y=np.ones(4))
+
+    def test_shapes(self):
+        assert synthetic_classification(50, 7, 3).x.shape == (50, 7)
+        assert synthetic_images(10, 3, 8).x.shape == (10, 3, 8, 8)
+        assert synthetic_sequences(10, 6, 5).x.shape == (10, 6, 5)
+
+    def test_labels_in_range(self):
+        ds = synthetic_classification(100, 4, classes=5)
+        assert ds.y.min() >= 0 and ds.y.max() < 5
+
+    def test_batches_cover_dataset(self):
+        ds = synthetic_classification(64, 4)
+        seen = sum(len(x) for x, _ in ds.batches(16))
+        assert seen == 64
+
+    def test_batches_drop_ragged_tail(self):
+        ds = synthetic_classification(50, 4)
+        sizes = [len(x) for x, _ in ds.batches(16)]
+        assert sizes == [16, 16, 16]
+
+    def test_batch_size_validated(self):
+        ds = synthetic_classification(10, 4)
+        with pytest.raises(ValueError):
+            list(ds.batches(0))
+
+    def test_poisson_batch_nonempty(self):
+        ds = synthetic_classification(100, 4)
+        x, y = ds.poisson_batch(0.001, np.random.default_rng(0))
+        assert len(x) >= 1
+
+    def test_reproducible_seed(self):
+        a = synthetic_classification(20, 4, seed=9)
+        b = synthetic_classification(20, 4, seed=9)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_learnable_signal(self):
+        """Blobs with high separation are nearly linearly separable."""
+        ds = synthetic_classification(200, 16, 4, separation=4.0)
+        # Nearest-centroid classification should beat chance easily.
+        centroids = np.stack([ds.x[ds.y == c].mean(axis=0) for c in range(4)])
+        preds = np.argmin(
+            ((ds.x[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1)
+        assert (preds == ds.y).mean() > 0.8
+
+
+class TestTrainingLoop:
+    def _net(self):
+        rng = np.random.default_rng(0)
+        return Sequential([Dense(16, 32, rng=rng), ReLU(),
+                           Dense(32, 4, rng=rng)])
+
+    def test_dp_training_learns(self):
+        ds = synthetic_classification(256, 16, 4, separation=3.0, seed=1)
+        net = self._net()
+        history, acct = train_dpsgd(net, ds, steps=40, batch_size=64,
+                                    lr=0.4, noise_multiplier=0.8)
+        assert history.losses[-1] < history.losses[0]
+        assert evaluate(net, ds) > 0.5
+
+    def test_epsilon_monotone_over_training(self):
+        ds = synthetic_classification(128, 16, 4)
+        _, acct = train_dpsgd(self._net(), ds, steps=10, batch_size=32)
+        assert acct.steps == 10
+        history, _ = train_dpsgd(self._net(), ds, steps=10, batch_size=32)
+        assert all(a <= b for a, b in zip(history.epsilons,
+                                          history.epsilons[1:]))
+
+    def test_both_methods_supported(self):
+        ds = synthetic_classification(64, 16, 4)
+        for method in ("dpsgd", "reweighted"):
+            history, _ = train_dpsgd(self._net(), ds, steps=3,
+                                     batch_size=16, method=method)
+            assert len(history.losses) == 3
+
+    def test_unknown_method_rejected(self):
+        ds = synthetic_classification(64, 16, 4)
+        with pytest.raises(ValueError):
+            train_dpsgd(self._net(), ds, method="magic")
+
+    def test_final_epsilon_property(self):
+        ds = synthetic_classification(64, 16, 4)
+        history, acct = train_dpsgd(self._net(), ds, steps=5, batch_size=16,
+                                    delta=1e-5)
+        assert history.final_epsilon == pytest.approx(acct.epsilon(1e-5))

@@ -1,0 +1,166 @@
+"""Edge-case and cross-cutting property tests.
+
+Stress the models at configuration extremes and assert global
+invariants (frequency invariance of speedups, determinism, degenerate
+geometries) that no single-module test pins down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.engine import ArrayConfig
+from repro.arch.memory import MemoryConfig
+from repro.arch.systolic import OutputStationaryEngine, WeightStationaryEngine
+from repro.core import DivaConfig, PpuConfig, build_accelerator
+from repro.core.outer_product import OuterProductEngine
+from repro.dpml import synthetic_classification, train_dpsgd
+from repro.dpml.layers import Dense, ReLU, Sequential
+from repro.training import Algorithm, simulate_training_step
+from repro.workloads import build_model
+from repro.workloads.gemms import Gemm
+
+
+class TestDegenerateGeometries:
+    @pytest.mark.parametrize("engine_cls", [
+        WeightStationaryEngine, OutputStationaryEngine, OuterProductEngine,
+    ])
+    def test_one_by_one_array(self, engine_cls):
+        """A 1x1 array degenerates to a scalar MAC but stays correct."""
+        cfg = ArrayConfig(height=1, width=1, fill_rows_per_cycle=1,
+                          drain_rows_per_cycle=1)
+        engine = engine_cls(cfg)
+        stats = engine.gemm_stats(Gemm(4, 3, 2))
+        assert stats.macs == 24
+        assert stats.compute_cycles >= 24  # cannot beat one MAC/cycle
+        assert 0 < stats.utilization <= 1.0
+
+    @pytest.mark.parametrize("engine_cls", [
+        WeightStationaryEngine, OutputStationaryEngine, OuterProductEngine,
+    ])
+    def test_single_element_gemm(self, engine_cls):
+        stats = engine_cls().gemm_stats(Gemm(1, 1, 1))
+        assert stats.macs == 1
+        assert stats.tiles == 1
+
+    def test_extreme_aspect_array(self):
+        cfg = ArrayConfig(height=1024, width=2)
+        engine = OuterProductEngine(cfg)
+        assert 0 < engine.utilization(Gemm(1024, 64, 2)) <= 1.0
+
+    def test_huge_fill_rate(self):
+        cfg = ArrayConfig(fill_rows_per_cycle=1024)
+        engine = WeightStationaryEngine(cfg)
+        fill, _ = engine.tile_cycle_phases(engine.tiles(Gemm(4, 128, 8))[0])
+        assert fill == 1
+
+
+class TestFrequencyInvariance:
+    """Speedups are ratios of cycles: frequency must cancel out."""
+
+    @pytest.mark.parametrize("freq", [100e6, 940e6, 2e9])
+    def test_speedup_independent_of_frequency(self, freq):
+        network = build_model("LSTM-small")
+        config = DivaConfig(
+            array=ArrayConfig(frequency_hz=freq),
+            # Keep the compute/bandwidth balance constant across
+            # frequencies so only the time unit changes.
+            memory=MemoryConfig(
+                bandwidth_bytes_per_s=450e9 * freq / 940e6),
+        )
+        ws = build_accelerator("ws", config=config)
+        diva = build_accelerator("diva", with_ppu=True, config=config)
+        base = simulate_training_step(network, Algorithm.DP_SGD_R, ws, 32)
+        ours = simulate_training_step(network, Algorithm.DP_SGD_R, diva, 32)
+        speedup = base.total_cycles / ours.total_cycles
+        reference_speedup = 2.75  # measured at the default 940 MHz
+        assert speedup == pytest.approx(reference_speedup, rel=0.05)
+
+
+class TestDeterminism:
+    def test_simulation_reproducible(self):
+        network = build_model("SqueezeNet")
+        accel = build_accelerator("diva")
+        a = simulate_training_step(network, Algorithm.DP_SGD, accel, 16)
+        b = simulate_training_step(network, Algorithm.DP_SGD, accel, 16)
+        assert a.total_cycles == b.total_cycles
+        assert a.total.dram_bytes == b.total.dram_bytes
+
+    def test_training_reproducible_with_seed(self):
+        def run():
+            rng = np.random.default_rng(3)
+            net = Sequential([Dense(8, 16, rng=rng), ReLU(),
+                              Dense(16, 3, rng=rng)])
+            data = synthetic_classification(64, 8, 3, seed=1)
+            history, _ = train_dpsgd(net, data, steps=5, batch_size=16,
+                                     seed=9)
+            return history.losses
+
+        assert run() == run()
+
+
+class TestPoissonSampling:
+    def test_poisson_training_runs(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(8, 3, rng=rng)])
+        data = synthetic_classification(128, 8, 3, seed=2)
+        history, accountant = train_dpsgd(
+            net, data, steps=10, batch_size=32, sampling="poisson")
+        assert len(history.losses) == 10
+        assert accountant.steps == 10
+
+    def test_unknown_sampling_rejected(self):
+        net = Sequential([Dense(4, 2)])
+        data = synthetic_classification(16, 4, 2)
+        with pytest.raises(ValueError):
+            train_dpsgd(net, data, sampling="stratified")
+
+    def test_poisson_accounting_matches_rate(self):
+        """The accountant uses B/N regardless of realized batch sizes."""
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        data = synthetic_classification(100, 4, 2, seed=3)
+        _, acct = train_dpsgd(net, data, steps=3, batch_size=10,
+                              sampling="poisson")
+        assert acct.sampling_rate == pytest.approx(0.1)
+
+
+class TestBatchOneTraining:
+    """B=1 is the degenerate DP-SGD case (every gradient 'per-example')."""
+
+    def test_simulation_batch_one(self):
+        network = build_model("LSTM-small")
+        accel = build_accelerator("ws")
+        report = simulate_training_step(network, Algorithm.DP_SGD, accel, 1)
+        assert report.total_cycles > 0
+
+    def test_memory_batch_one(self):
+        from repro.training import memory_breakdown
+
+        network = build_model("SqueezeNet")
+        b = memory_breakdown(network, Algorithm.DP_SGD, 1)
+        assert b.example_gradients == network.params * 4
+
+
+class TestSensitivityConfigs:
+    @settings(max_examples=10, deadline=None)
+    @given(drain=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]))
+    def test_any_drain_rate_valid(self, drain):
+        config = DivaConfig(array=ArrayConfig(drain_rows_per_cycle=drain),
+                            ppu=PpuConfig(num_trees=drain))
+        accel = build_accelerator("diva", with_ppu=True, config=config)
+        run = accel.run_gemm(Gemm(128, 4, 128), fuse_norm=accel.can_fuse_norm)
+        assert run.cycles > 0
+
+    def test_bandwidth_extremes(self):
+        network = build_model("SqueezeNet")
+        slow = DivaConfig(memory=MemoryConfig(bandwidth_bytes_per_s=1e9))
+        fast = DivaConfig(memory=MemoryConfig(bandwidth_bytes_per_s=1e13))
+        slow_t = simulate_training_step(
+            network, Algorithm.DP_SGD_R,
+            build_accelerator("diva", config=slow), 16).total_cycles
+        fast_t = simulate_training_step(
+            network, Algorithm.DP_SGD_R,
+            build_accelerator("diva", config=fast), 16).total_cycles
+        assert slow_t > fast_t

@@ -1,0 +1,110 @@
+"""Tests for the engine abstraction (repro.arch.engine)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.engine import ArrayConfig, GemmStats, chunk_sizes
+from repro.arch.systolic import WeightStationaryEngine
+from repro.workloads.gemms import Gemm
+
+
+class TestChunkSizes:
+    def test_exact_division(self):
+        assert chunk_sizes(256, 128) == [128, 128]
+
+    def test_remainder(self):
+        assert chunk_sizes(300, 128) == [128, 128, 44]
+
+    def test_smaller_than_chunk(self):
+        assert chunk_sizes(5, 128) == [5]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 128)
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 0)
+
+    @given(total=st.integers(1, 10_000), size=st.integers(1, 512))
+    def test_chunks_cover_total(self, total, size):
+        chunks = chunk_sizes(total, size)
+        assert sum(chunks) == total
+        assert all(0 < c <= size for c in chunks)
+        # Only the last chunk may be short.
+        assert all(c == size for c in chunks[:-1])
+
+
+class TestArrayConfig:
+    def test_defaults_match_table2(self):
+        cfg = ArrayConfig()
+        assert (cfg.height, cfg.width) == (128, 128)
+        assert cfg.frequency_hz == 940e6
+        assert cfg.peak_macs_per_cycle == 16384
+
+    def test_peak_flops(self):
+        cfg = ArrayConfig()
+        assert cfg.peak_flops == pytest.approx(2 * 16384 * 940e6)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(height=0)
+        with pytest.raises(ValueError):
+            ArrayConfig(drain_rows_per_cycle=0)
+
+
+class TestGemmStats:
+    def _stats(self, cycles=100, macs=1000):
+        return GemmStats(
+            gemm=Gemm(10, 10, 10),
+            engine="WS",
+            compute_cycles=cycles,
+            macs=macs,
+            peak_macs_per_cycle=16384,
+            tiles=1,
+            sram_read_bytes=10,
+            sram_write_bytes=20,
+        )
+
+    def test_utilization(self):
+        s = self._stats(cycles=10, macs=16384 * 5)
+        assert s.utilization == pytest.approx(0.5)
+
+    def test_utilization_zero_cycles(self):
+        assert self._stats(cycles=0).utilization == 0.0
+
+    def test_add_merges(self):
+        a, b = self._stats(), self._stats()
+        merged = a + b
+        assert merged.compute_cycles == 200
+        assert merged.macs == 2000
+        assert merged.sram_write_bytes == 40
+
+    def test_add_rejects_mismatched_arrays(self):
+        a = self._stats()
+        b = GemmStats(Gemm(1, 1, 1), "WS", 1, 1, 999, 1, 0, 0)
+        with pytest.raises(ValueError):
+            a + b
+
+
+gemm_shapes = st.tuples(
+    st.integers(1, 1024), st.integers(1, 1024), st.integers(1, 1024),
+    st.integers(1, 8),
+)
+
+
+class TestEngineInvariants:
+    @given(shape=gemm_shapes)
+    def test_utilization_bounded(self, shape):
+        m, k, n, count = shape
+        engine = WeightStationaryEngine()
+        stats = engine.gemm_stats(Gemm(m, k, n, count=count))
+        assert 0.0 < stats.utilization <= 1.0
+
+    @given(shape=gemm_shapes)
+    def test_count_scales_linearly(self, shape):
+        m, k, n, count = shape
+        engine = WeightStationaryEngine()
+        one = engine.gemm_stats(Gemm(m, k, n))
+        many = engine.gemm_stats(Gemm(m, k, n, count=count))
+        assert many.compute_cycles == count * one.compute_cycles
+        assert many.sram_read_bytes == count * one.sram_read_bytes

@@ -1,0 +1,76 @@
+"""Tests for the Gemm descriptor (repro.workloads.gemms)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.gemms import Gemm, GemmKind
+
+dims = st.integers(min_value=1, max_value=512)
+counts = st.integers(min_value=1, max_value=64)
+
+
+class TestGemmValidation:
+    def test_rejects_zero_m(self):
+        with pytest.raises(ValueError):
+            Gemm(0, 1, 1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            Gemm(1, -2, 1)
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            Gemm(1, 1, 0)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            Gemm(1, 1, 1, count=0)
+
+    def test_accepts_minimal(self):
+        g = Gemm(1, 1, 1)
+        assert g.macs == 1
+
+
+class TestGemmArithmetic:
+    @given(m=dims, k=dims, n=dims, count=counts)
+    def test_macs_product(self, m, k, n, count):
+        g = Gemm(m, k, n, count=count)
+        assert g.macs == m * k * n * count
+
+    @given(m=dims, k=dims, n=dims)
+    def test_flops_twice_macs(self, m, k, n):
+        g = Gemm(m, k, n)
+        assert g.flops == 2 * g.macs
+
+    @given(m=dims, k=dims, n=dims, count=counts)
+    def test_operand_elements(self, m, k, n, count):
+        g = Gemm(m, k, n, count=count)
+        assert g.lhs_elems == m * k * count
+        assert g.rhs_elems == k * n * count
+        assert g.out_elems == m * n * count
+
+    def test_single_drops_count(self):
+        g = Gemm(4, 5, 6, count=9)
+        s = g.single()
+        assert s.count == 1
+        assert (s.m, s.k, s.n) == (4, 5, 6)
+        assert g.count == 9  # original untouched
+
+    def test_with_kind_tags(self):
+        g = Gemm(2, 3, 4).with_kind(GemmKind.WGRAD_EXAMPLE, layer="conv1")
+        assert g.kind is GemmKind.WGRAD_EXAMPLE
+        assert g.layer == "conv1"
+
+    def test_with_kind_preserves_layer(self):
+        g = Gemm(2, 3, 4, layer="fc").with_kind(GemmKind.ACT_GRAD)
+        assert g.layer == "fc"
+
+
+class TestGemmKind:
+    def test_four_training_stages(self):
+        assert len(GemmKind) == 4
+
+    def test_str_values(self):
+        assert str(GemmKind.FORWARD) == "fwdprop"
+        assert str(GemmKind.WGRAD_EXAMPLE) == "wgrad_example"

@@ -1,0 +1,87 @@
+"""Tests for the analytical GPU model (repro.arch.gpu)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.gpu import A100, V100, GpuModel
+from repro.workloads.gemms import Gemm
+
+
+class TestConfigs:
+    def test_v100_specs(self):
+        assert V100.sms == 80
+        assert V100.tensor_peak_flops == 125e12
+        assert V100.dram_bandwidth_bytes_per_s == 900e9
+
+    def test_a100_specs(self):
+        assert A100.sms == 108
+        assert A100.tensor_peak_flops == 312e12
+
+    def test_names(self):
+        assert GpuModel(V100, tensor_cores=True).name == "V100 (FP16)"
+        assert GpuModel(A100, tensor_cores=False).name == "A100 (FP32)"
+
+
+class TestGemmTiming:
+    def test_tensor_cores_speed_up_large_gemm(self):
+        g = Gemm(4096, 4096, 4096)
+        tc = GpuModel(V100, tensor_cores=True).gemm_seconds(g)
+        simt = GpuModel(V100, tensor_cores=False).gemm_seconds(g)
+        assert tc < simt
+
+    def test_a100_faster_than_v100_on_big_gemm(self):
+        g = Gemm(8192, 8192, 8192)
+        assert (GpuModel(A100).gemm_seconds(g)
+                < GpuModel(V100).gemm_seconds(g))
+
+    def test_effective_flops_below_peak(self):
+        g = Gemm(2048, 2048, 2048)
+        model = GpuModel(V100)
+        assert model.effective_flops(g) < model.peak_flops
+
+    def test_launch_overhead_floors_tiny_gemms(self):
+        model = GpuModel(V100)
+        assert (model.gemm_seconds(Gemm(1, 1, 1))
+                >= V100.kernel_launch_seconds)
+
+    def test_small_k_padding_wastes_throughput(self):
+        """K=1 GEMMs burn a whole K-quantum per tile."""
+        model = GpuModel(V100)
+        thin = model.effective_flops(Gemm(4096, 1, 4096))
+        thick = model.effective_flops(Gemm(4096, 128, 4096))
+        assert thin < thick / 4
+
+    def test_batched_gemm_fills_sms(self):
+        """vmap batching: many small GEMMs approach one big GEMM's
+        efficiency (the GPU advantage the paper notes on MobileNet)."""
+        model = GpuModel(V100)
+        single = model.gemm_seconds(Gemm(64, 64, 64))
+        batched = model.gemm_seconds(Gemm(64, 64, 64, count=320))
+        assert batched < 320 * single / 3
+
+    def test_memory_bound_regime(self):
+        """Huge operands with trivial compute hit the HBM roofline."""
+        model = GpuModel(A100)
+        g = Gemm(8192, 1, 8192, count=16)
+        bytes_moved = (g.lhs_elems + g.rhs_elems) * 2 + g.out_elems * 4
+        floor = bytes_moved / A100.dram_bandwidth_bytes_per_s
+        assert model.gemm_seconds(g) >= floor
+
+    def test_write_output_toggle(self):
+        model = GpuModel(V100)
+        g = Gemm(4096, 2, 4096, count=64)  # memory-bound shape
+        with_w = model.gemm_seconds(g, write_output=True)
+        without = model.gemm_seconds(g, write_output=False)
+        assert with_w >= without
+
+    @given(m=st.integers(1, 4096), k=st.integers(1, 1024),
+           n=st.integers(1, 4096))
+    def test_time_positive(self, m, k, n):
+        assert GpuModel(V100).gemm_seconds(Gemm(m, k, n)) > 0
+
+    def test_gemms_seconds_sums(self):
+        model = GpuModel(V100)
+        gemms = [Gemm(128, 64, 128), Gemm(256, 32, 64)]
+        assert model.gemms_seconds(gemms) == pytest.approx(
+            sum(model.gemm_seconds(g) for g in gemms))

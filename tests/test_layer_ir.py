@@ -1,0 +1,205 @@
+"""Tests for the layer IR and its Figure 6 GEMM extraction."""
+
+import pytest
+
+from repro.workloads.gemms import GemmKind
+from repro.workloads.layer import (
+    Conv2D,
+    Elementwise,
+    Embedding,
+    Linear,
+    MatmulOp,
+    Norm,
+    Pool2D,
+    SeqLinear,
+    conv_out_size,
+)
+
+
+class TestConvOutSize:
+    def test_same_padding(self):
+        assert conv_out_size(32, 3, 1, 1) == 32
+
+    def test_stride_two(self):
+        assert conv_out_size(32, 3, 2, 1) == 16
+
+    def test_no_padding(self):
+        assert conv_out_size(8, 3, 1, 0) == 6
+
+    def test_collapse_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 7, 1, 0)
+
+
+class TestLinearFigure6:
+    """MLP row of Figure 6: fwd (B,I,O); batch (I,B,O); example Bx(I,1,O)."""
+
+    layer = Linear("fc", in_features=256, out_features=512, bias=False)
+
+    def test_forward_dims(self):
+        (g,) = self.layer.forward_gemms(batch=32)
+        assert (g.m, g.k, g.n, g.count) == (32, 256, 512, 1)
+        assert g.kind is GemmKind.FORWARD
+
+    def test_act_grad_dims(self):
+        (g,) = self.layer.act_grad_gemms(batch=32)
+        assert (g.m, g.k, g.n) == (32, 512, 256)
+
+    def test_batch_wgrad_dims(self):
+        (g,) = self.layer.batch_wgrad_gemms(batch=32)
+        assert (g.m, g.k, g.n) == (256, 32, 512)
+
+    def test_example_wgrad_dims(self):
+        (g,) = self.layer.example_wgrad_gemms(batch=32)
+        assert (g.m, g.k, g.n, g.count) == (256, 1, 512, 32)
+
+    def test_example_and_batch_wgrad_same_macs(self):
+        """Reduction over B examples preserves total MAC count."""
+        (batch,) = self.layer.batch_wgrad_gemms(batch=32)
+        (example,) = self.layer.example_wgrad_gemms(batch=32)
+        assert batch.macs == example.macs
+
+    def test_params_with_bias(self):
+        layer = Linear("fc", 10, 20, bias=True)
+        assert layer.params == 10 * 20 + 20
+
+    def test_out_elems(self):
+        assert self.layer.out_elems == 512
+
+
+class TestSeqLinearFigure6:
+    """Time-series MLP row: fwd (B*L,I,O); example Bx(I,L,O)."""
+
+    layer = SeqLinear("proj", in_features=768, out_features=768, seq_len=32,
+                      bias=False)
+
+    def test_forward_dims(self):
+        (g,) = self.layer.forward_gemms(batch=8)
+        assert (g.m, g.k, g.n) == (8 * 32, 768, 768)
+
+    def test_batch_wgrad_dims(self):
+        (g,) = self.layer.batch_wgrad_gemms(batch=8)
+        assert (g.m, g.k, g.n) == (768, 8 * 32, 768)
+
+    def test_example_wgrad_dims(self):
+        (g,) = self.layer.example_wgrad_gemms(batch=8)
+        assert (g.m, g.k, g.n, g.count) == (768, 32, 768, 8)
+
+    def test_example_k_is_seq_len_not_batch(self):
+        """The paper's key irregularity: K independent of B."""
+        g8 = self.layer.example_wgrad_gemms(batch=8)[0]
+        g64 = self.layer.example_wgrad_gemms(batch=64)[0]
+        assert g8.k == g64.k == 32
+
+
+class TestConv2DFigure6:
+    """Convolution row: fwd (B*P*Q, Cin*R*S, Cout); example Bx(CinRS, PQ, Cout)."""
+
+    layer = Conv2D("conv", in_channels=64, out_channels=128,
+                   in_height=16, in_width=16, kernel=3, stride=1, padding=1)
+
+    def test_output_shape(self):
+        assert self.layer.out_height == 16
+        assert self.layer.out_width == 16
+
+    def test_forward_dims(self):
+        (g,) = self.layer.forward_gemms(batch=4)
+        assert (g.m, g.k, g.n) == (4 * 256, 64 * 9, 128)
+
+    def test_act_grad_dims(self):
+        (g,) = self.layer.act_grad_gemms(batch=4)
+        assert (g.m, g.k, g.n) == (4 * 256, 128 * 9, 64)
+
+    def test_batch_wgrad_dims(self):
+        (g,) = self.layer.batch_wgrad_gemms(batch=4)
+        assert (g.m, g.k, g.n) == (64 * 9, 4 * 256, 128)
+
+    def test_example_wgrad_dims(self):
+        (g,) = self.layer.example_wgrad_gemms(batch=4)
+        assert (g.m, g.k, g.n, g.count) == (64 * 9, 256, 128, 4)
+
+    def test_params(self):
+        assert self.layer.params == 128 * 64 * 9
+
+    def test_out_elems(self):
+        assert self.layer.out_elems == 128 * 16 * 16
+
+    def test_stride_two_shrinks_example_k(self):
+        strided = Conv2D("s2", 64, 128, 16, 16, kernel=3, stride=2, padding=1)
+        (g,) = strided.example_wgrad_gemms(batch=1)
+        assert g.k == 8 * 8
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2D("bad", 10, 16, 8, 8, groups=3)
+
+
+class TestGroupedConvLowering:
+    def _depthwise(self, dense: bool) -> Conv2D:
+        return Conv2D("dw", 32, 32, 8, 8, kernel=3, groups=32,
+                      dense_group_lowering=dense)
+
+    def test_dense_lowering_full_channels(self):
+        (g,) = self._depthwise(True).forward_gemms(batch=2)
+        assert (g.k, g.n, g.count) == (32 * 9, 32, 1)
+
+    def test_native_lowering_per_group(self):
+        (g,) = self._depthwise(False).forward_gemms(batch=2)
+        assert (g.k, g.n, g.count) == (9, 1, 32)
+
+    def test_dense_lowering_inflates_macs(self):
+        dense = self._depthwise(True).forward_gemms(batch=2)[0]
+        native = self._depthwise(False).forward_gemms(batch=2)[0]
+        assert dense.macs == native.macs * 32
+
+    def test_params_independent_of_lowering(self):
+        assert self._depthwise(True).params == self._depthwise(False).params
+
+    def test_native_example_wgrad_count(self):
+        (g,) = self._depthwise(False).example_wgrad_gemms(batch=4)
+        assert g.count == 4 * 32
+
+
+class TestMatmulOp:
+    op = MatmulOp("qk", m=32, k=64, n=32, count=12)
+
+    def test_no_weight_grads(self):
+        assert self.op.batch_wgrad_gemms(8) == []
+        assert self.op.example_wgrad_gemms(8) == []
+        assert self.op.params == 0
+
+    def test_forward_count_scales_with_batch(self):
+        (g,) = self.op.forward_gemms(batch=8)
+        assert g.count == 12 * 8
+
+    def test_act_grad_two_gemms(self):
+        gemms = self.op.act_grad_gemms(batch=8)
+        assert len(gemms) == 2
+        da, db = gemms
+        assert (da.m, da.k, da.n) == (32, 32, 64)
+        assert (db.m, db.k, db.n) == (64, 32, 32)
+
+
+class TestMemoryOnlyLayers:
+    def test_pool_shape(self):
+        pool = Pool2D("p", channels=64, in_height=16, in_width=16)
+        assert pool.out_height == 8
+        assert pool.out_elems == 64 * 64
+        assert pool.forward_gemms(4) == []
+
+    def test_elementwise(self):
+        relu = Elementwise("r", elems=100)
+        assert relu.out_elems == 100
+        assert not relu.has_weights
+
+    def test_norm_params(self):
+        norm = Norm("bn", elems=1024, num_features=64)
+        assert norm.params == 128
+        assert norm.has_weights
+        assert norm.forward_gemms(4) == []
+
+    def test_embedding(self):
+        emb = Embedding("tok", vocab_size=1000, dim=64, seq_len=16)
+        assert emb.params == 64000
+        assert emb.out_elems == 16 * 64
+        assert emb.forward_gemms(4) == []

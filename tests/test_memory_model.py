@@ -1,0 +1,105 @@
+"""Tests for the Figure 4 / Section III-A memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import Algorithm, max_batch_size, memory_breakdown
+from repro.workloads import build_model
+
+NET = build_model("ResNet-152")
+
+
+class TestMemoryBreakdown:
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            memory_breakdown(NET, Algorithm.SGD, 0)
+
+    def test_total_is_sum(self):
+        b = memory_breakdown(NET, Algorithm.DP_SGD, 8)
+        assert b.total == (b.weights + b.activations + b.batch_gradients
+                           + b.example_gradients + b.other)
+
+    def test_sgd_no_example_gradients(self):
+        assert memory_breakdown(NET, Algorithm.SGD, 8).example_gradients == 0
+
+    def test_dp_sgd_example_gradients_scale(self):
+        """DP-SGD needs B x sizeof(G(W)) (Section II-C)."""
+        b8 = memory_breakdown(NET, Algorithm.DP_SGD, 8)
+        b16 = memory_breakdown(NET, Algorithm.DP_SGD, 16)
+        assert b16.example_gradients == 2 * b8.example_gradients
+        assert b8.example_gradients == NET.params * 4 * 8
+
+    def test_dp_sgd_r_transient_buffer(self):
+        """DP-SGD(R) holds only the largest layer's per-example grads."""
+        b = memory_breakdown(NET, Algorithm.DP_SGD_R, 8)
+        assert b.example_gradients == NET.max_layer_params * 4 * 8
+        assert b.example_gradients < memory_breakdown(
+            NET, Algorithm.DP_SGD, 8).example_gradients
+
+    def test_weights_independent_of_batch(self):
+        a = memory_breakdown(NET, Algorithm.SGD, 8)
+        b = memory_breakdown(NET, Algorithm.SGD, 8000)
+        assert a.weights == b.weights
+
+    def test_fraction(self):
+        b = memory_breakdown(NET, Algorithm.DP_SGD, 32)
+        assert b.fraction("example_gradients") == pytest.approx(
+            b.example_gradients / b.total)
+
+    def test_as_dict_keys(self):
+        d = memory_breakdown(NET, Algorithm.SGD, 4).as_dict()
+        assert set(d) == {"weights", "activations", "batch_gradients",
+                          "example_gradients", "other"}
+
+    @given(batch=st.integers(1, 512))
+    @settings(deadline=None)
+    def test_total_monotone_in_batch(self, batch):
+        a = memory_breakdown(NET, Algorithm.DP_SGD, batch).total
+        b = memory_breakdown(NET, Algorithm.DP_SGD, batch + 1).total
+        assert b > a
+
+
+class TestMaxBatch:
+    def test_paper_anchor_resnet152(self):
+        """Section III-A: DP-SGD trains ResNet-152 at mini-batch 32."""
+        assert max_batch_size(NET, Algorithm.DP_SGD) == 32
+
+    def test_dp_much_smaller_than_sgd(self):
+        """The memory-bloat headline: orders of magnitude."""
+        sgd = max_batch_size(NET, Algorithm.SGD)
+        dp = max_batch_size(NET, Algorithm.DP_SGD)
+        assert sgd >= 64 * dp
+
+    def test_dp_sgd_r_restores_batch(self):
+        """DP-SGD(R) enables much larger mini-batches (Section III-A)."""
+        dp = max_batch_size(NET, Algorithm.DP_SGD)
+        dp_r = max_batch_size(NET, Algorithm.DP_SGD_R)
+        assert dp_r >= 4 * dp
+
+    def test_power_of_two_default(self):
+        b = max_batch_size(NET, Algorithm.DP_SGD)
+        assert b & (b - 1) == 0
+
+    def test_exact_search(self):
+        exact = max_batch_size(NET, Algorithm.DP_SGD, power_of_two=False)
+        pow2 = max_batch_size(NET, Algorithm.DP_SGD, power_of_two=True)
+        assert pow2 <= exact < 2 * pow2
+
+    def test_capacity_scaling(self):
+        small = max_batch_size(NET, Algorithm.DP_SGD,
+                               capacity_bytes=8 * 2**30)
+        large = max_batch_size(NET, Algorithm.DP_SGD,
+                               capacity_bytes=32 * 2**30)
+        assert small < large
+
+    def test_too_small_capacity_raises(self):
+        with pytest.raises(ValueError):
+            max_batch_size(NET, Algorithm.DP_SGD, capacity_bytes=2**20)
+
+    def test_feasible_at_reported_batch(self):
+        """The returned batch really fits; the next power of two doesn't."""
+        budget = 16 * 2**30 * 0.9
+        b = max_batch_size(NET, Algorithm.DP_SGD)
+        assert memory_breakdown(NET, Algorithm.DP_SGD, b).total <= budget
+        assert memory_breakdown(NET, Algorithm.DP_SGD, 2 * b).total > budget

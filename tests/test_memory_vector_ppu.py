@@ -1,0 +1,125 @@
+"""Tests for the memory system, vector unit and PPU models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.memory import MemoryConfig, MemorySystem
+from repro.arch.vector import VectorUnit, VectorUnitConfig
+from repro.core.ppu import PostProcessingUnit, PpuConfig
+
+
+class TestMemorySystem:
+    def test_defaults_match_table2(self):
+        cfg = MemoryConfig()
+        assert cfg.bandwidth_bytes_per_s == 450e9
+        assert cfg.access_latency_cycles == 100
+        assert cfg.channels == 16
+        assert cfg.sram_bytes == 16 * 2**20
+
+    def test_bytes_per_cycle(self):
+        mem = MemorySystem(frequency_hz=940e6)
+        assert mem.bytes_per_cycle == pytest.approx(450e9 / 940e6)
+
+    def test_zero_bytes_zero_cycles(self):
+        mem = MemorySystem()
+        assert mem.transfer_cycles(0) == 0
+        assert mem.transfer_cycles(-5) == 0
+
+    def test_latency_added_once(self):
+        mem = MemorySystem()
+        assert mem.transfer_cycles(1) == 1 + 100
+
+    @given(num_bytes=st.integers(1, 10**10))
+    def test_transfer_monotone(self, num_bytes):
+        mem = MemorySystem()
+        assert (mem.transfer_cycles(num_bytes)
+                <= mem.transfer_cycles(num_bytes + 1000))
+
+    def test_seconds(self):
+        mem = MemorySystem(frequency_hz=1e9)
+        cycles = mem.transfer_cycles(450_000)
+        assert mem.seconds(450_000) == pytest.approx(cycles / 1e9)
+
+    def test_fits_in_sram(self):
+        mem = MemorySystem()
+        assert mem.fits_in_sram(16 * 2**20)
+        assert not mem.fits_in_sram(16 * 2**20 + 1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(sram_bytes=0)
+
+
+class TestVectorUnit:
+    def test_ops_per_cycle(self):
+        assert VectorUnitConfig().ops_per_cycle == 128 * 8
+
+    def test_elementwise_cycles(self):
+        vu = VectorUnit()
+        assert vu.elementwise_cycles(1024) == 1
+        assert vu.elementwise_cycles(1025) == 2
+
+    def test_zero_elems(self):
+        vu = VectorUnit()
+        assert vu.elementwise_cycles(0) == 0
+        assert vu.reduction_cycles(0) == 0
+
+    def test_reduction_overhead(self):
+        """Reductions pay the permute overhead (Section IV-C)."""
+        vu = VectorUnit()
+        elems = 100_000
+        assert vu.reduction_cycles(elems) == 2 * vu.elementwise_cycles(elems)
+
+    @given(elems=st.integers(1, 10**8))
+    def test_cycles_positive(self, elems):
+        vu = VectorUnit()
+        assert vu.elementwise_cycles(elems) >= 1
+
+
+class TestPpu:
+    def test_levels_for_128(self):
+        """A 128-wide tree has log2(128) = 7 levels (Figure 11)."""
+        assert PpuConfig().levels == 7
+
+    def test_sustainable_bandwidth_matches_paper(self):
+        """Section IV-C: 940 MHz x 8 rows x 128 elems x 4 B = 3.85 TB/s."""
+        ppu = PpuConfig()
+        assert ppu.sustainable_bytes_per_s == pytest.approx(3.85e12, rel=0.01)
+
+    def test_elements_per_cycle(self):
+        assert PpuConfig().elements_per_cycle == 8 * 128
+
+    def test_matches_drain_rate(self):
+        ppu = PostProcessingUnit()
+        assert ppu.matches_drain_rate(8, 128)
+        assert not ppu.matches_drain_rate(16, 128)
+        assert not ppu.matches_drain_rate(8, 256)
+
+    def test_flush_includes_tree_depth(self):
+        ppu = PostProcessingUnit()
+        assert ppu.flush_cycles() >= 7
+
+    def test_reduction_throughput(self):
+        """Input loading is O(1) per beat: N elements need ~N/1024 beats."""
+        ppu = PostProcessingUnit()
+        big = ppu.reduction_cycles(1024 * 1000)
+        assert big == 1000 + ppu.flush_cycles()
+
+    def test_reduction_zero(self):
+        assert PostProcessingUnit().reduction_cycles(0) == 0
+
+    @given(elems=st.integers(1, 10**7))
+    def test_reduction_monotone(self, elems):
+        ppu = PostProcessingUnit()
+        assert ppu.reduction_cycles(elems) <= ppu.reduction_cycles(elems * 2)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PpuConfig(tree_width=1)
+        with pytest.raises(ValueError):
+            PpuConfig(num_trees=0)

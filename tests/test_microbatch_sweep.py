@@ -1,0 +1,90 @@
+"""Tests for virtual batching and the GEMM robustness sweep."""
+
+import numpy as np
+import pytest
+
+from repro.dpml import (
+    Dense,
+    DpSgdOptimizer,
+    MicrobatchDpSgdOptimizer,
+    PrivacyParams,
+    ReLU,
+    Sequential,
+    synthetic_classification,
+)
+from repro.experiments import gemm_sweep
+
+
+def _net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(16, 24, rng=rng), ReLU(),
+                       Dense(24, 4, rng=rng)])
+
+
+class TestMicrobatching:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicrobatchDpSgdOptimizer(_net(), microbatch_size=0)
+
+    @pytest.mark.parametrize("microbatch", [1, 4, 7, 16, 64])
+    def test_equivalent_to_full_batch(self, microbatch):
+        """Any micro-batch split yields the same logical update."""
+        data = synthetic_classification(64, 16, 4, seed=2)
+        x, y = data.x[:32], data.y[:32]
+        full_net, micro_net = _net(1), _net(1)
+        privacy = PrivacyParams(clip_norm=1.0, noise_multiplier=1.0)
+        full = DpSgdOptimizer(full_net, privacy=privacy,
+                              rng=np.random.default_rng(5))
+        micro = MicrobatchDpSgdOptimizer(
+            micro_net, privacy=privacy, rng=np.random.default_rng(5),
+            microbatch_size=microbatch)
+        r_full = full.step_dpsgd(x, y)
+        r_micro = micro.step_dpsgd(x, y)
+        for la, lb in zip(full_net.weight_layers, micro_net.weight_layers):
+            for name in la.params:
+                np.testing.assert_allclose(la.params[name], lb.params[name],
+                                           atol=1e-9)
+        assert r_micro.mean_loss == pytest.approx(r_full.mean_loss)
+        assert r_micro.clipped_fraction == r_full.clipped_fraction
+
+    def test_telemetry_covers_all_examples(self):
+        data = synthetic_classification(64, 16, 4, seed=3)
+        opt = MicrobatchDpSgdOptimizer(
+            _net(2), microbatch_size=8,
+            privacy=PrivacyParams(1.0, 0.0),
+            rng=np.random.default_rng(0))
+        result = opt.step_dpsgd(data.x[:24], data.y[:24])
+        assert 0.0 <= result.clipped_fraction <= 1.0
+        assert result.mean_grad_norm > 0
+
+
+class TestGemmSweep:
+    points = gemm_sweep.k_sweep(m=512, n=256, ks=(1, 8, 64, 512))
+
+    def test_diva_monotone_advantage_shrinks_with_k(self):
+        """DiVa's edge over WS is largest at the smallest K."""
+        advantages = [p.diva_advantage for p in self.points]
+        assert advantages[0] > advantages[-1]
+        assert advantages[0] > 5.0
+
+    def test_ws_utilization_grows_with_k(self):
+        ws = [p.utilization["WS"] for p in self.points]
+        assert all(a <= b + 1e-9 for a, b in zip(ws, ws[1:]))
+
+    def test_diva_flat_across_k(self):
+        """The outer product's defining robustness: above the drain
+        bound (K >= 128/R = 16), utilization is K-independent."""
+        diva = [p.utilization["DiVa"] for p in self.points
+                if p.gemm.k >= 16]
+        assert max(diva) / min(diva) < 1.5
+
+    def test_aspect_sweep_runs(self):
+        points = gemm_sweep.aspect_sweep()
+        assert len(points) == 5
+        for p in points:
+            for value in p.utilization.values():
+                assert 0 < value <= 1
+
+    def test_render(self):
+        text = gemm_sweep.render(self.points)
+        assert "DiVa/WS" in text

@@ -1,0 +1,93 @@
+"""Tests for the Network container (repro.workloads.model)."""
+
+import pytest
+
+from repro.workloads.gemms import GemmKind
+from repro.workloads.layer import Conv2D, Elementwise, Embedding, Linear, Norm
+from repro.workloads.model import ModelFamily, Network
+
+
+def tiny_network() -> Network:
+    return Network(
+        name="tiny",
+        family=ModelFamily.CNN,
+        layers=(
+            Conv2D("conv1", 3, 8, 8, 8),
+            Elementwise("relu1", 8 * 8 * 8),
+            Linear("fc", 8 * 8 * 8, 10),
+        ),
+        input_elems=3 * 8 * 8,
+    )
+
+
+class TestNetworkStructure:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Network("dup", ModelFamily.CNN,
+                    (Linear("a", 2, 2), Linear("a", 2, 2)), input_elems=2)
+
+    def test_params_sum(self):
+        net = tiny_network()
+        expected = 8 * 3 * 9 + (512 * 10 + 10)
+        assert net.params == expected
+
+    def test_weight_layers(self):
+        net = tiny_network()
+        assert [l.name for l in net.weight_layers] == ["conv1", "fc"]
+
+    def test_act_elems_includes_input(self):
+        net = tiny_network()
+        total = 3 * 64 + 8 * 64 + 8 * 64 + 10
+        assert net.act_elems_per_example == total
+
+    def test_max_layer_params(self):
+        net = tiny_network()
+        assert net.max_layer_params == 512 * 10 + 10
+
+    def test_describe_mentions_name(self):
+        assert "tiny" in tiny_network().describe()
+
+
+class TestParamPartition:
+    def test_vector_plus_gemm_is_total(self):
+        net = Network(
+            "mix", ModelFamily.TRANSFORMER,
+            (Embedding("emb", 100, 8, 4), Norm("ln", 32, 8),
+             Linear("fc", 8, 4)),
+            input_elems=4,
+        )
+        assert net.gemm_params + net.vector_grad_params == net.params
+
+    def test_embedding_and_norm_are_vector_path(self):
+        net = Network(
+            "mix2", ModelFamily.TRANSFORMER,
+            (Embedding("emb", 100, 8, 4), Norm("ln", 32, 8),
+             Linear("fc", 8, 4)),
+            input_elems=4,
+        )
+        assert net.vector_grad_params == 100 * 8 + 16
+        assert net.gemm_params == 8 * 4 + 4
+
+
+class TestGemmExtraction:
+    def test_all_stages_nonempty(self):
+        net = tiny_network()
+        for kind in GemmKind:
+            assert net.gemms(kind, batch=4), kind
+
+    def test_stage_macs_scale_with_batch(self):
+        net = tiny_network()
+        m1 = net.stage_macs(GemmKind.FORWARD, 1)
+        m8 = net.stage_macs(GemmKind.FORWARD, 8)
+        assert m8 == 8 * m1
+
+    def test_example_wgrad_count_equals_batch(self):
+        net = tiny_network()
+        for gemm in net.gemms(GemmKind.WGRAD_EXAMPLE, batch=16):
+            assert gemm.count % 16 == 0
+
+    def test_batch_vs_example_wgrad_macs_match(self):
+        """Figure 6: reduction changes shape, not MAC count."""
+        net = tiny_network()
+        assert (net.stage_macs(GemmKind.WGRAD_BATCH, 8)
+                == net.stage_macs(GemmKind.WGRAD_EXAMPLE, 8))

@@ -1,0 +1,65 @@
+"""Tests for the training-step GEMM planner (repro.training.plan)."""
+
+import pytest
+
+from repro.training import Algorithm, Phase, bottleneck_gemms, phase_gemms
+from repro.workloads import build_model
+
+
+class TestPhaseGemms:
+    net = build_model("SqueezeNet")
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            phase_gemms(self.net, Algorithm.SGD, 0)
+
+    def test_sgd_phases(self):
+        plan = phase_gemms(self.net, Algorithm.SGD, 8)
+        assert plan[Phase.FWD]
+        assert plan[Phase.BWD_ACT_1]
+        assert plan[Phase.BWD_BATCH_GRAD]
+        assert not plan[Phase.BWD_EXAMPLE_GRAD]
+        assert not plan[Phase.BWD_ACT_2]
+
+    def test_dp_sgd_phases(self):
+        plan = phase_gemms(self.net, Algorithm.DP_SGD, 8)
+        assert plan[Phase.BWD_EXAMPLE_GRAD]
+        assert not plan[Phase.BWD_BATCH_GRAD]
+        assert not plan[Phase.BWD_ACT_2]
+
+    def test_dp_sgd_r_phases(self):
+        """DP-SGD(R) runs backprop twice (Algorithm 1)."""
+        plan = phase_gemms(self.net, Algorithm.DP_SGD_R, 8)
+        assert plan[Phase.BWD_EXAMPLE_GRAD]
+        assert plan[Phase.BWD_ACT_2]
+        assert plan[Phase.BWD_BATCH_GRAD]
+        assert plan[Phase.BWD_ACT_2] == plan[Phase.BWD_ACT_1]
+
+    def test_forward_identical_across_algorithms(self):
+        """Forward propagation is algorithm-independent (Section III-B)."""
+        plans = [phase_gemms(self.net, algo, 8) for algo in Algorithm]
+        assert plans[0][Phase.FWD] == plans[1][Phase.FWD]
+        assert plans[1][Phase.FWD] == plans[2][Phase.FWD]
+
+    def test_example_gemm_counts_scale_with_batch(self):
+        plan = phase_gemms(self.net, Algorithm.DP_SGD, 16)
+        for gemm in plan[Phase.BWD_EXAMPLE_GRAD]:
+            assert gemm.count % 16 == 0
+
+
+class TestBottleneckGemms:
+    def test_covers_backprop_gemm_stages(self):
+        net = build_model("LSTM-small")
+        plan = phase_gemms(net, Algorithm.DP_SGD_R, 4)
+        expected = (len(plan[Phase.BWD_ACT_1])
+                    + len(plan[Phase.BWD_EXAMPLE_GRAD])
+                    + len(plan[Phase.BWD_ACT_2])
+                    + len(plan[Phase.BWD_BATCH_GRAD]))
+        assert len(bottleneck_gemms(net, Algorithm.DP_SGD_R, 4)) == expected
+
+    def test_excludes_forward(self):
+        from repro.workloads import GemmKind
+
+        net = build_model("LSTM-small")
+        kinds = {g.kind for g in bottleneck_gemms(net, Algorithm.DP_SGD_R, 4)}
+        assert GemmKind.FORWARD not in kinds

@@ -1,0 +1,137 @@
+"""Tests for the event-driven pipeline simulator (repro.sim)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_accelerator
+from repro.sim import PipelineSimulator, TimedOp, pipeline_training_step
+from repro.training import Algorithm
+from repro.workloads import build_model
+
+
+def op(compute, dma=0, resource="gemm", label="op", tag="t"):
+    return TimedOp(label=label, resource=resource,
+                   compute_cycles=compute, dma_cycles=dma, tag=tag)
+
+
+class TestTimedOpValidation:
+    def test_unknown_resource(self):
+        with pytest.raises(ValueError):
+            op(1, resource="fpga")
+
+    def test_negative_cycles(self):
+        with pytest.raises(ValueError):
+            op(-1)
+
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(-1)
+
+
+class TestScheduling:
+    def test_empty_program(self):
+        assert PipelineSimulator().run([]).total_cycles == 0
+
+    def test_single_op(self):
+        timeline = PipelineSimulator().run([op(10, 5)])
+        assert timeline.total_cycles == 15
+
+    def test_perfect_overlap(self):
+        """Balanced compute/DMA pipelines: n ops cost (n+1) stages."""
+        ops = [op(10, 10) for _ in range(8)]
+        timeline = PipelineSimulator(prefetch_depth=1).run(ops)
+        assert timeline.total_cycles == 10 * 9
+        assert timeline.serialized_cycles == 160
+
+    def test_zero_depth_serializes(self):
+        """Without prefetch, each transfer waits for prior compute."""
+        ops = [op(10, 10) for _ in range(4)]
+        timeline = PipelineSimulator(prefetch_depth=0).run(ops)
+        assert timeline.total_cycles == 80
+
+    def test_dma_bound_program(self):
+        ops = [op(1, 100) for _ in range(5)]
+        timeline = PipelineSimulator().run(ops)
+        # DMA engine is serial: total >= 500.
+        assert timeline.total_cycles >= 500
+
+    def test_compute_bound_program(self):
+        ops = [op(100, 1) for _ in range(5)]
+        timeline = PipelineSimulator().run(ops)
+        assert timeline.total_cycles == pytest.approx(501, abs=2)
+
+    def test_distinct_resources_still_program_ordered(self):
+        """Compute starts follow program order even across resources."""
+        ops = [op(50, 0, "gemm"), op(10, 0, "vector"), op(50, 0, "gemm")]
+        timeline = PipelineSimulator().run(ops)
+        starts = [t.compute_start for t in timeline.timings]
+        assert starts == sorted(starts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cycles=st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 100)),
+        min_size=1, max_size=20), depth=st.integers(0, 4))
+    def test_bounds(self, cycles, depth):
+        """Overlapped latency is between the two analytic bounds."""
+        ops = [op(c, d) for c, d in cycles]
+        timeline = PipelineSimulator(depth).run(ops)
+        total_compute = sum(c for c, _ in cycles)
+        total_dma = sum(d for _, d in cycles)
+        assert timeline.total_cycles <= timeline.serialized_cycles
+        assert timeline.total_cycles >= max(total_compute, total_dma) \
+            or total_compute == total_dma == 0
+
+    def test_busy_accounting(self):
+        ops = [op(10, 0, "gemm"), op(20, 0, "vector"), op(30, 0, "gemm")]
+        timeline = PipelineSimulator().run(ops)
+        assert timeline.busy_cycles("gemm") == 40
+        assert timeline.busy_cycles("vector") == 20
+        assert 0 < timeline.utilization("gemm") <= 1.0
+
+    def test_tag_cycles_cover_total(self):
+        ops = [op(10, 5, tag="a"), op(10, 5, tag="b"), op(10, 5, tag="a")]
+        timeline = PipelineSimulator().run(ops)
+        assert sum(timeline.tag_cycles().values()) == timeline.total_cycles
+
+
+class TestPipelineTrainingStep:
+    net = build_model("SqueezeNet")
+
+    def _run(self, kind="diva", with_ppu=True, algo=Algorithm.DP_SGD_R,
+             depth=1):
+        accel = (build_accelerator("ws") if kind == "ws"
+                 else build_accelerator(kind, with_ppu=with_ppu))
+        return pipeline_training_step(self.net, algo, accel, 32,
+                                      prefetch_depth=depth)
+
+    def test_deeper_buffering_monotonically_faster(self):
+        """More staging buffers -> strictly no worse latency, converging
+        toward the idealized per-op max(compute, dma) bound."""
+        totals = [self._run(depth=d).total_cycles for d in (0, 1, 2, 4)]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_per_op_model_is_an_overlap_lower_bound(self):
+        """The phase-level model assumes unlimited buffering; the
+        event-driven pipeline can only approach it from above."""
+        report = self._run(depth=8)
+        assert report.total_cycles >= report.per_op_cycles * 0.8
+        assert report.total_cycles <= report.per_op_cycles * 1.3
+
+    @pytest.mark.parametrize("algo", list(Algorithm))
+    def test_all_algorithms_supported(self, algo):
+        report = self._run(algo=algo)
+        assert report.total_cycles > 0
+        assert report.algorithm is algo
+
+    def test_diva_still_beats_ws_under_overlap(self):
+        """The paper's ranking survives the tighter overlap model."""
+        diva = self._run("diva")
+        ws = self._run("ws")
+        assert diva.total_cycles < ws.total_cycles
+
+    def test_timeline_tags_match_phases(self):
+        report = self._run()
+        tags = set(report.timeline.tag_cycles())
+        assert "Fwdprop" in tags
+        assert "Bwd(per-example grad)" in tags

@@ -1,0 +1,134 @@
+"""Tests for the training-step simulation driver (repro.training.simulate)."""
+
+import pytest
+
+from repro.core import build_accelerator
+from repro.training import (
+    Algorithm,
+    Phase,
+    simulate_training_step,
+    stage_utilization,
+)
+from repro.workloads import GemmKind, build_model
+
+NET = build_model("SqueezeNet")
+BATCH = 32
+
+
+def report(kind="ws", with_ppu=False, algo=Algorithm.DP_SGD_R, net=NET,
+           batch=BATCH):
+    accel = (build_accelerator("ws") if kind == "ws"
+             else build_accelerator(kind, with_ppu=with_ppu))
+    return simulate_training_step(net, algo, accel, batch)
+
+
+class TestReportStructure:
+    def test_sgd_has_no_private_phases(self):
+        r = report(algo=Algorithm.SGD)
+        assert r.phase_cycles(Phase.BWD_EXAMPLE_GRAD) == 0
+        assert r.phase_cycles(Phase.BWD_GRAD_NORM) == 0
+        assert r.phase_cycles(Phase.BWD_GRAD_CLIP) == 0
+
+    def test_dp_sgd_has_clip_and_reduce(self):
+        r = report(algo=Algorithm.DP_SGD)
+        assert r.phase_cycles(Phase.BWD_GRAD_CLIP) > 0
+        assert r.phase_cycles(Phase.BWD_REDUCE_NOISE) > 0
+        assert r.phase_cycles(Phase.BWD_ACT_2) == 0
+
+    def test_dp_sgd_r_has_second_pass(self):
+        r = report(algo=Algorithm.DP_SGD_R)
+        assert r.phase_cycles(Phase.BWD_ACT_2) > 0
+        assert r.phase_cycles(Phase.BWD_BATCH_GRAD) > 0
+        assert r.phase_cycles(Phase.BWD_GRAD_CLIP) == 0
+
+    def test_total_is_phase_sum(self):
+        r = report()
+        assert r.total_cycles == sum(
+            r.phase_cycles(p) for p in Phase)
+
+    def test_seconds_conversion(self):
+        r = report()
+        assert r.total_seconds == pytest.approx(
+            r.total_cycles / r.frequency_hz)
+
+    def test_breakdown_keys(self):
+        r = report()
+        assert set(r.breakdown()) == {str(p) for p in Phase}
+
+    def test_deterministic(self):
+        a, b = report(), report()
+        assert a.total_cycles == b.total_cycles
+
+
+class TestPaperShapes:
+    def test_dp_backprop_dominates(self):
+        """Section III-B: backprop ~99% of DP training time."""
+        r = report(algo=Algorithm.DP_SGD)
+        assert r.backprop_fraction > 0.9
+
+    def test_sgd_backprop_share(self):
+        """Non-private SGD: backprop 60-77% of the step."""
+        r = report(algo=Algorithm.SGD)
+        assert 0.5 < r.backprop_fraction < 0.85
+
+    def test_dp_sgd_slower_than_sgd(self):
+        assert (report(algo=Algorithm.DP_SGD).total_cycles
+                > 3 * report(algo=Algorithm.SGD).total_cycles)
+
+    def test_dp_sgd_r_beats_dp_sgd_on_ws(self):
+        """Section III-B: DP-SGD(R) outperforms DP-SGD on the baseline."""
+        assert (report(algo=Algorithm.DP_SGD_R).total_cycles
+                < report(algo=Algorithm.DP_SGD).total_cycles)
+
+    def test_diva_beats_ws_on_dp(self):
+        ws = report("ws")
+        diva = report("diva", with_ppu=True)
+        assert diva.total_cycles < ws.total_cycles / 1.5
+
+    def test_ppu_removes_norm_stage(self):
+        without = report("diva", with_ppu=False)
+        with_ppu = report("diva", with_ppu=True)
+        assert (with_ppu.phase_cycles(Phase.BWD_GRAD_NORM)
+                < without.phase_cycles(Phase.BWD_GRAD_NORM) / 10)
+
+    def test_ws_spills_example_gradients(self):
+        """Figure 10(a): WS writes per-example grads off-chip under
+        DP-SGD(R); an OS drain does not."""
+        ws = report("ws")
+        diva = report("diva", with_ppu=True)
+        spill_ws = ws.phases[Phase.BWD_EXAMPLE_GRAD].dram_write_bytes
+        spill_diva = diva.phases[Phase.BWD_EXAMPLE_GRAD].dram_write_bytes
+        assert spill_ws > 100 * spill_diva
+
+    def test_dp_sgd_keeps_gradients_even_on_diva(self):
+        """Plain DP-SGD must materialize gradients for clipping."""
+        r = report("diva", with_ppu=True, algo=Algorithm.DP_SGD)
+        spill = r.phases[Phase.BWD_EXAMPLE_GRAD].dram_write_bytes
+        assert spill >= NET.gemm_params * 4 * BATCH
+
+    def test_postprocessing_traffic_reduction(self):
+        """Section I: ~99% less post-processing off-chip traffic."""
+        ws = report("ws")
+        diva = report("diva", with_ppu=True)
+        assert (diva.postprocessing_dram_bytes
+                < 0.1 * ws.postprocessing_dram_bytes)
+
+
+class TestStageUtilization:
+    def test_empty_list(self):
+        accel = build_accelerator("ws")
+        assert stage_utilization(accel, []) == 0.0
+
+    def test_matches_engine_for_single_gemm(self):
+        accel = build_accelerator("ws")
+        gemms = NET.gemms(GemmKind.FORWARD, 8)[:1]
+        assert stage_utilization(accel, gemms) == pytest.approx(
+            accel.engine.utilization(gemms[0]))
+
+    def test_example_stage_worst_on_ws(self):
+        """Figure 7's ordering."""
+        accel = build_accelerator("ws")
+        fwd = stage_utilization(accel, NET.gemms(GemmKind.FORWARD, BATCH))
+        ex = stage_utilization(accel,
+                               NET.gemms(GemmKind.WGRAD_EXAMPLE, BATCH))
+        assert ex < fwd

@@ -1,0 +1,121 @@
+"""Tests for the WS/OS systolic cycle models (repro.arch.systolic)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.engine import ArrayConfig
+from repro.arch.systolic import OutputStationaryEngine, WeightStationaryEngine
+from repro.workloads.gemms import Gemm
+
+SMALL = ArrayConfig(height=8, width=8, fill_rows_per_cycle=2,
+                    drain_rows_per_cycle=2, tile_startup_cycles=0,
+                    gemm_startup_cycles=0)
+
+
+class TestWsTiling:
+    def test_single_tile(self):
+        engine = WeightStationaryEngine(SMALL)
+        tiles = engine.tiles(Gemm(100, 8, 8))
+        assert len(tiles) == 1
+        assert (tiles[0].m, tiles[0].k, tiles[0].n) == (100, 8, 8)
+
+    def test_k_and_n_tiled(self):
+        engine = WeightStationaryEngine(SMALL)
+        tiles = engine.tiles(Gemm(10, 20, 17))
+        # ceil(20/8)=3 k-chunks x ceil(17/8)=3 n-chunks.
+        assert len(tiles) == 9
+        assert sum(t.k * t.n for t in tiles) == 20 * 17
+
+    def test_m_never_tiled(self):
+        engine = WeightStationaryEngine(SMALL)
+        for tile in engine.tiles(Gemm(100_000, 4, 4)):
+            assert tile.m == 100_000
+
+
+class TestWsCycles:
+    def test_fill_rate(self):
+        engine = WeightStationaryEngine(SMALL)
+        fill, _ = engine.tile_cycle_phases(engine.tiles(Gemm(4, 8, 8))[0])
+        assert fill == math.ceil(8 / 2)
+
+    def test_stream_formula(self):
+        """Figure 3(c): stream = M + K + PE_W - 1."""
+        engine = WeightStationaryEngine(SMALL)
+        _, stream = engine.tile_cycle_phases(engine.tiles(Gemm(10, 8, 8))[0])
+        assert stream == 10 + 8 + 8 - 1
+
+    def test_small_k_hurts_utilization(self):
+        """The paper's core observation (Section II-D)."""
+        engine = WeightStationaryEngine()
+        full = engine.utilization(Gemm(4096, 128, 128))
+        skinny = engine.utilization(Gemm(4096, 1, 128))
+        assert skinny < full / 50
+
+    def test_utilization_improves_with_m(self):
+        engine = WeightStationaryEngine()
+        assert (engine.utilization(Gemm(10_000, 64, 128))
+                > engine.utilization(Gemm(100, 64, 128)))
+
+
+class TestOsCycles:
+    def test_wavefront_formula(self):
+        """Figure 3(b): K + m + n - 1 for one tile."""
+        engine = OutputStationaryEngine(SMALL)
+        drain, wave = engine.tile_cycle_phases(
+            engine.tiles(Gemm(8, 100, 8))[0])
+        assert wave == 100 + 8 + 8 - 1
+        assert drain == math.ceil(8 / 2)
+
+    def test_m_and_n_tiled(self):
+        engine = OutputStationaryEngine(SMALL)
+        tiles = engine.tiles(Gemm(20, 5, 17))
+        assert len(tiles) == 3 * 3
+        assert all(t.k == 5 for t in tiles)
+
+    def test_small_k_hurts_os_too(self):
+        """Section IV-B: OS alone does not fix the small-K problem."""
+        engine = OutputStationaryEngine()
+        assert engine.utilization(Gemm(4096, 1, 128)) < 0.01
+
+
+class TestWsVsOs:
+    @given(m=st.integers(1, 2000), k=st.integers(1, 128),
+           n=st.integers(1, 300))
+    def test_identical_output_traffic_when_k_fits(self, m, k, n):
+        """With K <= PE_H both dataflows write each output once."""
+        ws = WeightStationaryEngine()
+        os_ = OutputStationaryEngine()
+        g = Gemm(m, k, n)
+        ws_stats = ws.gemm_stats(g)
+        os_stats = os_.gemm_stats(g)
+        assert ws_stats.sram_write_bytes == os_stats.sram_write_bytes
+
+    def test_ws_writes_partial_sums_when_k_tiled(self):
+        """With K > PE_H the WS array emits one partial-sum set per
+        K-chunk; the OS array accumulates over time and writes once."""
+        ws = WeightStationaryEngine()
+        os_ = OutputStationaryEngine()
+        g = Gemm(64, 300, 64)  # ceil(300/128) = 3 K-chunks
+        assert (ws.gemm_stats(g).sram_write_bytes
+                == 3 * os_.gemm_stats(g).sram_write_bytes)
+
+    def test_ws_beats_os_on_large_m_small_k(self):
+        """WS amortizes small K over long streams; OS pays the wavefront
+        per output tile."""
+        ws = WeightStationaryEngine()
+        os_ = OutputStationaryEngine()
+        g = Gemm(32768, 27, 64)
+        assert ws.utilization(g) > os_.utilization(g)
+
+
+class TestDoubleBufferToggle:
+    def test_no_overlap_is_slower(self):
+        base = ArrayConfig()
+        no_db = ArrayConfig(weight_double_buffer=False)
+        g = Gemm(64, 1024, 1024)
+        fast = WeightStationaryEngine(base).gemm_stats(g).compute_cycles
+        slow = WeightStationaryEngine(no_db).gemm_stats(g).compute_cycles
+        assert slow > fast
