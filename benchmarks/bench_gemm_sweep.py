@@ -1,7 +1,33 @@
-"""Benchmark: regenerate the GEMM-shape robustness sweep."""
+"""Benchmark: GEMM robustness sweep + cycle-engine throughput tracking.
+
+Besides regenerating the paper-shape sweep, this module measures raw
+``gemm_stats`` throughput (closed-form path, cold cache) and persists
+it to ``BENCH_gemm_sweep.json`` at the repo root so CI can track the
+perf trajectory of the cycle engine across commits.
+"""
+
+import json
+import time
+from pathlib import Path
 
 from benchmarks.conftest import run_once
+from repro.core import build_accelerator
 from repro.experiments import gemm_sweep
+from repro.experiments.common import clear_caches
+from repro.workloads.gemms import Gemm
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_gemm_sweep.json"
+
+#: Shapes covering the regimes that matter: regular forward GEMMs,
+#: remainder tiles in every dimension, and tall-skinny per-example
+#: weight gradients.
+THROUGHPUT_SHAPES = (
+    Gemm(32 * 1024, 576, 64),
+    Gemm(300, 77, 128),
+    Gemm(257, 129, 131),
+    Gemm(576, 16, 512, count=32),
+    Gemm(2048, 4, 300),
+)
 
 
 def test_gemm_sweep(benchmark, capsys):
@@ -12,3 +38,38 @@ def test_gemm_sweep(benchmark, capsys):
     assert points[-1].diva_advantage < 2.0
     with capsys.disabled():
         print("\n" + gemm_sweep.render(points))
+
+
+def test_gemm_stats_throughput(capsys):
+    """Smoke-measure closed-form gemm_stats ops/sec; persist to JSON."""
+    engines = {kind: build_accelerator(kind, with_ppu=False).engine
+               for kind in ("ws", "os", "diva")}
+    rounds = 40
+    results = {}
+    for kind, engine in engines.items():
+        calls = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            clear_caches()  # measure compute, not cache hits
+            for gemm in THROUGHPUT_SHAPES:
+                engine.gemm_stats(gemm)
+                calls += 1
+        elapsed = time.perf_counter() - start
+        results[kind] = {
+            "calls": calls,
+            "seconds": elapsed,
+            "ops_per_sec": calls / elapsed,
+        }
+    payload = {
+        "benchmark": "gemm_stats_throughput",
+        "shapes": [str(g) for g in THROUGHPUT_SHAPES],
+        "engines": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        summary = ", ".join(f"{kind}: {r['ops_per_sec']:.0f} ops/s"
+                            for kind, r in results.items())
+        print(f"\ngemm_stats throughput — {summary} -> {BENCH_JSON.name}")
+    # Loose floor: the closed-form path should sustain thousands of
+    # stats computations per second even on slow CI machines.
+    assert all(r["ops_per_sec"] > 1000 for r in results.values())

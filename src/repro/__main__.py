@@ -36,7 +36,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.experiment == "all":
         from repro.experiments.run_all import main as run_all
-        run_all()
+        run_all(["--jobs", str(args.jobs)] if args.jobs else [])
         return 0
     module = ALL_EXPERIMENTS.get(args.experiment)
     if module is None:
@@ -72,6 +72,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_design_space(args: argparse.Namespace) -> int:
+    from repro.experiments import design_space
+    from repro.experiments.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    rows = design_space.run(
+        models=tuple(args.models),
+        heights=tuple(args.heights),
+        widths=tuple(args.widths) if args.widths else None,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(design_space.render(rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DiVa (MICRO 2022) reproduction")
@@ -80,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("experiments", help="list available experiments")
     run = sub.add_parser("run", help="regenerate a figure/table")
     run.add_argument("experiment", help="experiment key, or 'all'")
+    run.add_argument("--jobs", type=int, default=0,
+                     help="worker processes for 'all' (default: all cores)")
     sim = sub.add_parser("simulate", help="simulate one model")
     sim.add_argument("model", choices=MODEL_NAMES)
     sim.add_argument("--batch", type=int, default=0,
@@ -88,12 +106,31 @@ def main(argv: list[str] | None = None) -> int:
                      choices=[a.value for a in __import__(
                          "repro.training", fromlist=["Algorithm"]
                      ).Algorithm])
+    design = sub.add_parser(
+        "design-space",
+        help="sweep PE-array geometries (parallel, JSON-cached)")
+    design.add_argument("--models", nargs="+", default=["VGG-16",
+                                                        "BERT-large"],
+                        choices=MODEL_NAMES, metavar="MODEL")
+    design.add_argument("--heights", nargs="+", type=int,
+                        default=[64, 128, 256], metavar="H",
+                        help="PE-array heights (width mirrors height "
+                             "unless --widths is given)")
+    design.add_argument("--widths", nargs="+", type=int, default=None,
+                        metavar="W",
+                        help="PE-array widths (full cross product)")
+    design.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    design.add_argument("--cache-dir", default=None,
+                        help="persist results as JSON under this "
+                             "directory, keyed by config hash")
     args = parser.parse_args(argv)
     handlers = {
         "models": _cmd_models,
         "experiments": _cmd_experiments,
         "run": _cmd_run,
         "simulate": _cmd_simulate,
+        "design-space": _cmd_design_space,
     }
     return handlers[args.command](args)
 

@@ -150,12 +150,16 @@ class Accelerator:
         dram_write = 0
         sram_write = stats.sram_write_bytes
         compute = stats.compute_cycles
+        ppu_cycles = 0
         if fuse_norm:
             # Outputs stream through the adder trees during the drain;
             # one norm scalar per GEMM is emitted.  If the gradients
             # themselves must persist (plain DP-SGD's clipping), they
             # are committed alongside; under DP-SGD(R) they are consumed.
-            compute += self.ppu.flush_cycles() * gemm.count
+            # Only the per-GEMM pipeline flush is PPU-exposed time — the
+            # drain itself is already part of the GEMM cycle count.
+            ppu_cycles = self.ppu.flush_cycles() * gemm.count
+            compute += ppu_cycles
             dram_write = gemm.count * acc_bytes
             if write_output:
                 dram_write += gemm.out_elems * acc_bytes
@@ -168,7 +172,7 @@ class Accelerator:
         return OpRun(
             cycles=max(compute, transfer),
             compute_cycles=compute,
-            ppu_cycles=compute if fuse_norm else 0,
+            ppu_cycles=ppu_cycles,
             macs=stats.macs,
             dram_read_bytes=dram_read,
             dram_write_bytes=dram_write,

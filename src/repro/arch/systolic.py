@@ -18,7 +18,15 @@ from __future__ import annotations
 
 import math
 
-from repro.arch.engine import GemmEngine, TileShape, chunk_sizes
+import numpy as np
+
+from repro.arch.engine import (
+    GemmEngine,
+    TileGrid,
+    TileShape,
+    chunk_sizes,
+    chunk_spec,
+)
 from repro.workloads.gemms import Gemm
 
 
@@ -37,16 +45,36 @@ class WeightStationaryEngine(GemmEngine):
             for nt in chunk_sizes(gemm.n, cfg.width)
         ]
 
+    def tile_grid(self, gemm: Gemm) -> TileGrid:
+        cfg = self.config
+        return TileGrid(outer=chunk_spec(gemm.k, cfg.height),
+                        inner=chunk_spec(gemm.n, cfg.width))
+
+    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+        return np.full_like(outer_sizes, gemm.m), outer_sizes, inner_sizes
+
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
         cfg = self.config
         fill = math.ceil(tile.k / cfg.fill_rows_per_cycle)
         stream = tile.m + tile.k + cfg.width - 1
         return fill, stream
 
+    def tile_phases_batch(self, m, k, n):
+        cfg = self.config
+        fill = (k + cfg.fill_rows_per_cycle - 1) // cfg.fill_rows_per_cycle
+        stream = m + k + cfg.width - 1
+        return fill, stream
+
     def tile_sram_traffic(self, tile: TileShape) -> tuple[int, int]:
         cfg = self.config
         reads = (tile.m * tile.k + tile.k * tile.n) * cfg.input_bytes
         writes = tile.m * tile.n * cfg.acc_bytes
+        return reads, writes
+
+    def tile_traffic_batch(self, m, k, n):
+        cfg = self.config
+        reads = (m * k + k * n) * cfg.input_bytes
+        writes = m * n * cfg.acc_bytes
         return reads, writes
 
 
@@ -65,14 +93,34 @@ class OutputStationaryEngine(GemmEngine):
             for nt in chunk_sizes(gemm.n, cfg.width)
         ]
 
+    def tile_grid(self, gemm: Gemm) -> TileGrid:
+        cfg = self.config
+        return TileGrid(outer=chunk_spec(gemm.m, cfg.height),
+                        inner=chunk_spec(gemm.n, cfg.width))
+
+    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+        return outer_sizes, np.full_like(outer_sizes, gemm.k), inner_sizes
+
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
         cfg = self.config
         drain = math.ceil(tile.m / cfg.drain_rows_per_cycle)
         wavefront = tile.k + tile.m + tile.n - 1
         return drain, wavefront
 
+    def tile_phases_batch(self, m, k, n):
+        cfg = self.config
+        drain = (m + cfg.drain_rows_per_cycle - 1) // cfg.drain_rows_per_cycle
+        wavefront = k + m + n - 1
+        return drain, wavefront
+
     def tile_sram_traffic(self, tile: TileShape) -> tuple[int, int]:
         cfg = self.config
         reads = (tile.m * tile.k + tile.k * tile.n) * cfg.input_bytes
         writes = tile.m * tile.n * cfg.acc_bytes
+        return reads, writes
+
+    def tile_traffic_batch(self, m, k, n):
+        cfg = self.config
+        reads = (m * k + k * n) * cfg.input_bytes
+        writes = m * n * cfg.acc_bytes
         return reads, writes

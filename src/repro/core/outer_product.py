@@ -14,7 +14,15 @@ from __future__ import annotations
 
 import math
 
-from repro.arch.engine import GemmEngine, TileShape, chunk_sizes
+import numpy as np
+
+from repro.arch.engine import (
+    GemmEngine,
+    TileGrid,
+    TileShape,
+    chunk_sizes,
+    chunk_spec,
+)
 from repro.workloads.gemms import Gemm
 
 
@@ -33,15 +41,34 @@ class OuterProductEngine(GemmEngine):
             for nt in chunk_sizes(gemm.n, cfg.width)
         ]
 
+    def tile_grid(self, gemm: Gemm) -> TileGrid:
+        cfg = self.config
+        return TileGrid(outer=chunk_spec(gemm.m, cfg.height),
+                        inner=chunk_spec(gemm.n, cfg.width))
+
+    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+        return outer_sizes, np.full_like(outer_sizes, gemm.k), inner_sizes
+
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
         """One rank-1 update per cycle: K cycles of compute, then drain."""
         cfg = self.config
         drain = math.ceil(tile.m / cfg.drain_rows_per_cycle)
         return drain, tile.k
 
+    def tile_phases_batch(self, m, k, n):
+        cfg = self.config
+        drain = (m + cfg.drain_rows_per_cycle - 1) // cfg.drain_rows_per_cycle
+        return drain, k
+
     def tile_sram_traffic(self, tile: TileShape) -> tuple[int, int]:
         """Streams one LHS column + one RHS row per cycle (Table I)."""
         cfg = self.config
         reads = (tile.m + tile.n) * tile.k * cfg.input_bytes
         writes = tile.m * tile.n * cfg.acc_bytes
+        return reads, writes
+
+    def tile_traffic_batch(self, m, k, n):
+        cfg = self.config
+        reads = (m + n) * k * cfg.input_bytes
+        writes = m * n * cfg.acc_bytes
         return reads, writes

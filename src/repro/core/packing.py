@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 
-from repro.arch.engine import ArrayConfig, GemmStats, chunk_sizes
+from repro.arch.engine import ArrayConfig, GemmStats
 from repro.core.outer_product import OuterProductEngine
 from repro.workloads.gemms import Gemm
 
@@ -65,15 +65,13 @@ class PackedOuterProductEngine(OuterProductEngine):
             return 1
         return max(1, min(self.bus_segments, fit, gemm.count))
 
-    def gemm_stats(self, gemm: Gemm) -> GemmStats:
-        pack = self.packing_factor(gemm)
-        if pack == 1:
-            return super().gemm_stats(gemm)
+    def _cache_key(self) -> tuple:
+        return super()._cache_key() + (self.bus_segments,)
+
+    def _pack_stats(self, gemm: Gemm, per_instance: GemmStats,
+                    pack: int) -> GemmStats:
         # `pack` instances run concurrently; the batch completes in
         # ceil(count / pack) sequential rounds of one-instance latency.
-        single = Gemm(gemm.m, gemm.k, gemm.n, count=1, kind=gemm.kind,
-                      layer=gemm.layer)
-        per_instance = super().gemm_stats(single)
         rounds = math.ceil(gemm.count / pack)
         return GemmStats(
             gemm=gemm,
@@ -85,3 +83,17 @@ class PackedOuterProductEngine(OuterProductEngine):
             sram_read_bytes=per_instance.sram_read_bytes * gemm.count,
             sram_write_bytes=per_instance.sram_write_bytes * gemm.count,
         )
+
+    def _compute_gemm_stats(self, gemm: Gemm) -> GemmStats:
+        pack = self.packing_factor(gemm)
+        if pack == 1:
+            return super()._compute_gemm_stats(gemm)
+        return self._pack_stats(
+            gemm, super()._compute_gemm_stats(gemm.single()), pack)
+
+    def gemm_stats_reference(self, gemm: Gemm) -> GemmStats:
+        pack = self.packing_factor(gemm)
+        if pack == 1:
+            return super().gemm_stats_reference(gemm)
+        return self._pack_stats(
+            gemm, super().gemm_stats_reference(gemm.single()), pack)

@@ -24,6 +24,7 @@ Each module exposes ``run()`` returning structured results and
 
 from repro.experiments import (
     ablation,
+    design_space,
     fig04_memory,
     gemm_sweep,
     fig05_breakdown,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = {
     "ppu_traffic": ppu_traffic,
     "ablation": ablation,
     "gemm_sweep": gemm_sweep,
+    "design_space": design_space,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -69,3 +69,20 @@ def simulate(name: str, algorithm: Algorithm, kind: str, with_ppu: bool,
 def all_models() -> tuple[str, ...]:
     """The nine benchmark models in the paper's figure order."""
     return MODEL_NAMES
+
+
+def clear_caches() -> None:
+    """Reset every harness memo (model/accelerator/simulation/stats).
+
+    ``benchmarks/bench_gemm_sweep.py`` calls this between timing rounds
+    to measure the cold path; sweep worker processes inherit warm parent
+    caches via fork, so it is also the hook for experiments that need a
+    cold start.
+    """
+    from repro.arch.engine import clear_gemm_stats_cache
+
+    get_model.cache_clear()
+    default_batch.cache_clear()
+    get_accelerator.cache_clear()
+    simulate.cache_clear()
+    clear_gemm_stats_cache()

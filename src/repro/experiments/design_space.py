@@ -1,0 +1,104 @@
+"""Design-space exploration beyond the paper's Table II point.
+
+The paper evaluates one array geometry (128x128 at 940 MHz).  With the
+closed-form GEMM cycle engine, sweeping the geometry is cheap enough to
+explore systematically: this experiment evaluates DiVa-over-WS DP-SGD(R)
+speedup (and DiVa utilization) across PE-array shapes and models, one
+worker process per design point, with one JSON cache entry per point
+(:func:`repro.experiments.runner.cached_sweep`) so extending the swept
+set only computes the new combinations.
+
+Run it from the CLI::
+
+    python -m repro design-space --models VGG-16 BERT-large \
+        --heights 64 128 256 --cache-dir .repro_cache
+"""
+
+from __future__ import annotations
+
+from repro.experiments import runner
+from repro.experiments.report import format_table
+
+#: PE-array heights swept by default (width mirrors height).
+DEFAULT_HEIGHTS = (64, 128, 256)
+#: Models evaluated by default (one CNN, one transformer).
+DEFAULT_MODELS = ("VGG-16", "BERT-large")
+
+
+def evaluate_point(name: str, height: int, width: int,
+                   input_size: int = 32, seq_len: int = 32) -> dict:
+    """One design point: DiVa vs WS at one array geometry (picklable).
+
+    Returns a JSON-serializable dict so results can be persisted by
+    :func:`repro.experiments.runner.run_cached`.
+    """
+    from repro.arch.engine import ArrayConfig
+    from repro.core import build_accelerator
+    from repro.core.config import DivaConfig
+    from repro.core.ppu import PpuConfig
+    from repro.training import Algorithm, max_batch_size, \
+        simulate_training_step
+    from repro.workloads import build_model
+
+    array = ArrayConfig(height=height, width=width)
+    # The PPU trees must span one PE-array row (DivaConfig invariant).
+    ppu = PpuConfig(num_trees=array.drain_rows_per_cycle,
+                    tree_width=max(width, 2))
+    config = DivaConfig(array=array, ppu=ppu)
+    network = build_model(name, input_size=input_size, seq_len=seq_len)
+    batch = max_batch_size(network, Algorithm.DP_SGD)
+    ws = build_accelerator("ws", config=config)
+    diva = build_accelerator("diva", with_ppu=True, config=config)
+    base = simulate_training_step(network, Algorithm.DP_SGD_R, ws, batch)
+    ours = simulate_training_step(network, Algorithm.DP_SGD_R, diva, batch)
+    return {
+        "model": name,
+        "height": height,
+        "width": width,
+        "batch": batch,
+        "ws_ms": base.total_seconds * 1e3,
+        "diva_ms": ours.total_seconds * 1e3,
+        "speedup": base.total_seconds / ours.total_seconds,
+    }
+
+
+def run(
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    heights: tuple[int, ...] = DEFAULT_HEIGHTS,
+    widths: tuple[int, ...] | None = None,
+    jobs: int | None = None,
+    cache: "runner.ResultCache | None" = None,
+) -> list[dict]:
+    """Sweep the design space; one row per (model, height, width)."""
+    square_only = widths is None
+    widths = widths or heights
+    work = [(name, h, w)
+            for name in models for h in heights for w in widths
+            if not square_only or h == w]
+    # One cache entry per point: growing the swept set only computes
+    # the new (model, height, width) combinations.
+    return runner.cached_sweep(
+        evaluate_point, work, star=True, jobs=jobs, cache=cache,
+        key_fn=lambda point: {"experiment": "design_space",
+                              "model": point[0], "height": point[1],
+                              "width": point[2]},
+    )
+
+
+def render(rows: list[dict] | None = None) -> str:
+    """The design-space sweep as a text table."""
+    rows = rows or run()
+    table = [
+        [row["model"], f'{row["height"]}x{row["width"]}', row["batch"],
+         row["ws_ms"], row["diva_ms"], row["speedup"]]
+        for row in rows
+    ]
+    return format_table(
+        ["Model", "Array", "Batch", "WS ms", "DiVa ms", "DiVa/WS"],
+        table,
+        title="Design-space sweep: DP-SGD(R) step latency vs array shape",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

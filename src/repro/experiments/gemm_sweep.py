@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments import runner
 from repro.experiments.common import get_accelerator
 from repro.experiments.report import format_table
 from repro.workloads.gemms import Gemm
@@ -34,17 +35,19 @@ class SweepPoint:
         return self.utilization["DiVa"] / ws if ws else float("inf")
 
 
+def sweep_point(m: int, k: int, n: int) -> SweepPoint:
+    """Utilization of every engine at one shape (picklable worker)."""
+    util = {}
+    for label, kind, with_ppu in _ENGINES:
+        accel = get_accelerator(kind, with_ppu)
+        util[label] = accel.engine.utilization(Gemm(m, k, n))
+    return SweepPoint(gemm=Gemm(m, k, n), utilization=util)
+
+
 def k_sweep(m: int = 1024, n: int = 512,
             ks: tuple[int, ...] = K_SWEEP) -> list[SweepPoint]:
     """Sweep the K dimension at a fixed (M, N) footprint."""
-    points = []
-    for k in ks:
-        util = {}
-        for label, kind, with_ppu in _ENGINES:
-            accel = get_accelerator(kind, with_ppu)
-            util[label] = accel.engine.utilization(Gemm(m, k, n))
-        points.append(SweepPoint(gemm=Gemm(m, k, n), utilization=util))
-    return points
+    return runner.sweep(sweep_point, [(m, k, n) for k in ks], star=True)
 
 
 def aspect_sweep(macs: int = 2**24) -> list[SweepPoint]:
@@ -55,14 +58,7 @@ def aspect_sweep(macs: int = 2**24) -> list[SweepPoint]:
         k = max(1, side // squish)
         mn = int((macs / k) ** 0.5)
         shapes.append((mn, k, mn))
-    points = []
-    for m, k, n in shapes:
-        util = {}
-        for label, kind, with_ppu in _ENGINES:
-            accel = get_accelerator(kind, with_ppu)
-            util[label] = accel.engine.utilization(Gemm(m, k, n))
-        points.append(SweepPoint(gemm=Gemm(m, k, n), utilization=util))
-    return points
+    return runner.sweep(sweep_point, shapes, star=True)
 
 
 def render(points: list[SweepPoint] | None = None) -> str:

@@ -1,0 +1,235 @@
+"""Parallel experiment runner: process-pool sweeps + persisted JSON caching.
+
+The experiment harness spends its time in many independent simulations
+(one per model / design point / scale setting), so the natural speedup
+is a process pool: :func:`sweep` maps a module-level function over a
+list of picklable work items with a ``ProcessPoolExecutor``, preserving
+input order.  ``run_all``, the GEMM robustness sweep, the Section VI-C
+sensitivity study and the ``design-space`` CLI subcommand all route
+their fan-out through it.
+
+API
+---
+``sweep(fn, items, *, jobs=None, parallel=None, star=False)``
+    Order-preserving map.  ``fn`` must be importable (module-level) and
+    ``items`` picklable.  With ``star=True`` each item is a tuple of
+    positional arguments.  Falls back to a plain serial loop when
+    parallelism is disabled, a single job is requested, or there is at
+    most one item.
+``run_cached(key_obj, producer, *, cache=None)``
+    Persisted JSON memoization: returns ``producer()`` and stores it
+    under ``config_hash(key_obj)``; later calls with an equal key load
+    the stored value instead of recomputing.  ``producer`` must return
+    a JSON-serializable value.  A ``None`` cache (the default when no
+    cache directory is configured) disables persistence.
+``cached_sweep(fn, items, *, key_fn, cache=None, ...)``
+    :func:`sweep` with one persisted entry *per item* (keyed by
+    ``config_hash(key_fn(item))``): growing a sweep recomputes only
+    the new points.
+``config_hash(obj)``
+    Stable short SHA-256 of a canonical JSON rendering of ``obj``
+    (dataclasses, enums, tuples and mappings are normalized first).
+``ResultCache(root)``
+    The JSON file store: one ``<hash>.json`` per entry under ``root``,
+    written atomically, carrying both the key and the value so entries
+    stay debuggable.
+
+Caching and parallelism knobs
+-----------------------------
+``REPRO_JOBS``
+    Default worker count (otherwise ``os.cpu_count()``).  ``1`` gives
+    serial execution.
+``REPRO_PARALLEL=0``
+    Force every sweep serial regardless of ``jobs`` (useful under
+    debuggers, coverage, or in sandboxes without working ``fork``).
+``REPRO_CACHE_DIR``
+    Enables persisted result caching under this directory for callers
+    that do not pass an explicit :class:`ResultCache`.
+
+Stale-entry policy: a cache entry's hash covers every input the caller
+puts into ``key_obj`` — sweep parameters plus the relevant architecture
+config — so changing any knob produces a fresh entry.  Code changes are
+*not* hashed; delete the cache directory (or pass a versioned key) when
+the models themselves change.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}") from None
+    return os.cpu_count() or 1
+
+
+def parallel_enabled() -> bool:
+    """Whether process pools are allowed (``REPRO_PARALLEL`` != 0)."""
+    return os.environ.get("REPRO_PARALLEL", "1").strip() != "0"
+
+
+def _worker_init() -> None:
+    """Mark sweep workers: nested sweeps inside them stay serial."""
+    os.environ["REPRO_PARALLEL"] = "0"
+
+
+def sweep(
+    fn: Callable,
+    items: Iterable,
+    *,
+    jobs: int | None = None,
+    parallel: bool | None = None,
+    star: bool = False,
+) -> list:
+    """Map ``fn`` over ``items`` with a process pool, preserving order."""
+    work = list(items)
+    if parallel is None:
+        parallel = parallel_enabled()
+    workers = min(jobs or default_jobs(), max(1, len(work)))
+    if not parallel or workers <= 1 or len(work) <= 1:
+        if star:
+            return [fn(*item) for item in work]
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_worker_init) as pool:
+        if star:
+            futures = [pool.submit(fn, *item) for item in work]
+        else:
+            futures = [pool.submit(fn, item) for item in work]
+        return [future.result() for future in futures]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Normalize ``obj`` into a canonical JSON-serializable structure."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__qualname__,
+                **{key: _jsonable(value)
+                   for key, value in asdict(obj).items()}}
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, dict):
+        return {str(key): _jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) \
+            else obj
+        return [_jsonable(value) for value in items]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_hash(obj: Any) -> str:
+    """Stable 16-hex-digit hash of a configuration object."""
+    payload = json.dumps(_jsonable(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """One-JSON-file-per-entry result store keyed by config hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key_hash: str) -> Path:
+        return self.root / f"{key_hash}.json"
+
+    def get(self, key_hash: str) -> Any | None:
+        """Stored value for ``key_hash``, or None (missing/corrupt)."""
+        try:
+            payload = json.loads(self.path(key_hash).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload.get("value") if isinstance(payload, dict) else None
+
+    def put(self, key_hash: str, key: Any, value: Any) -> None:
+        """Atomically persist ``value`` (and its key, for debuggability)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": _jsonable(key), "value": value},
+                             indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path(key_hash))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def default_cache() -> ResultCache | None:
+    """The ``REPRO_CACHE_DIR`` cache, or None when caching is disabled."""
+    root = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ResultCache(root) if root else None
+
+
+def run_cached(
+    key_obj: Any,
+    producer: Callable[[], Any],
+    *,
+    cache: ResultCache | None = None,
+) -> Any:
+    """Return ``producer()``, memoized persistently under ``key_obj``."""
+    if cache is None:
+        cache = default_cache()
+    if cache is None:
+        return producer()
+    key_hash = config_hash(key_obj)
+    hit = cache.get(key_hash)
+    if hit is not None:
+        return hit
+    value = producer()
+    cache.put(key_hash, key_obj, value)
+    return value
+
+
+def cached_sweep(
+    fn: Callable,
+    items: Iterable,
+    *,
+    key_fn: Callable[[Any], Any],
+    cache: ResultCache | None = None,
+    jobs: int | None = None,
+    parallel: bool | None = None,
+    star: bool = False,
+) -> list:
+    """:func:`sweep` with per-item persistent memoization.
+
+    Each item is cached under ``config_hash(key_fn(item))``, so growing
+    a sweep only computes the new points — previously stored ones load
+    from disk.  ``fn`` must return JSON-serializable values.  Without a
+    cache this degrades to a plain :func:`sweep`.
+    """
+    work = list(items)
+    if cache is None:
+        cache = default_cache()
+    if cache is None:
+        return sweep(fn, work, jobs=jobs, parallel=parallel, star=star)
+    keys = [key_fn(item) for item in work]
+    hashes = [config_hash(key) for key in keys]
+    results = [cache.get(key_hash) for key_hash in hashes]
+    missing = [i for i, value in enumerate(results) if value is None]
+    computed = sweep(fn, [work[i] for i in missing],
+                     jobs=jobs, parallel=parallel, star=star)
+    for index, value in zip(missing, computed):
+        cache.put(hashes[index], keys[index], value)
+        results[index] = value
+    return results

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import build_accelerator
+from repro.experiments import runner
 from repro.experiments.report import format_table, mean
 from repro.training import Algorithm, max_batch_size, simulate_training_step
 from repro.workloads import build_model
@@ -50,16 +51,18 @@ def _speedup(name: str, input_size: int, seq_len: int) -> SensitivityPoint:
 
 def run_images(sizes: tuple[int, ...] = IMAGE_SIZES,
                models: tuple[str, ...] = CNN_MODELS) -> list[SensitivityPoint]:
-    """CNN image-size sweep."""
-    return [_speedup(name, size, 32) for size in sizes for name in models]
+    """CNN image-size sweep (one worker per model x size)."""
+    work = [(name, size, 32) for size in sizes for name in models]
+    return runner.sweep(_speedup, work, star=True)
 
 
 def run_sequences(
     lens: tuple[int, ...] = SEQ_LENS,
     models: tuple[str, ...] = TRANSFORMER_MODELS + RNN_MODELS,
 ) -> list[SensitivityPoint]:
-    """Transformer/RNN sequence-length sweep."""
-    return [_speedup(name, 32, length) for length in lens for name in models]
+    """Transformer/RNN sequence-length sweep (one worker per point)."""
+    work = [(name, 32, length) for length in lens for name in models]
+    return runner.sweep(_speedup, work, star=True)
 
 
 def averages(points: list[SensitivityPoint]) -> dict[str, float]:

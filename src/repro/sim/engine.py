@@ -101,13 +101,19 @@ class Timeline:
         return self.busy_cycles(resource) / total
 
     def tag_cycles(self) -> dict[str, int]:
-        """Wall-clock span attributed to each tag (by compute end)."""
+        """Wall-clock span attributed to each tag (by compute end).
+
+        Ops on different resources may finish out of program order, so
+        spans are carved up in completion order — otherwise a later list
+        entry with an earlier ``compute_end`` collapses to zero and its
+        wall-clock time is credited to whichever tag finishes next.
+        """
         spans: dict[str, int] = {}
         last_end = 0
-        for timing in self.timings:
-            span = max(0, timing.compute_end - last_end)
-            spans[timing.op.tag] = spans.get(timing.op.tag, 0) + span
-            last_end = max(last_end, timing.compute_end)
+        for timing in sorted(self.timings, key=lambda t: t.compute_end):
+            spans[timing.op.tag] = (spans.get(timing.op.tag, 0)
+                                    + timing.compute_end - last_end)
+            last_end = timing.compute_end
         return spans
 
 

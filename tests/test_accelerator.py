@@ -102,6 +102,19 @@ class TestFuseNorm:
         run = accel.run_gemm(Gemm(64, 8, 64))
         assert run.ppu_cycles == 0
 
+    def test_fused_ppu_cycles_are_flush_only(self):
+        """Regression: the whole GEMM compute was attributed to the PPU,
+        inflating PPU utilization/energy breakdowns."""
+        accel = build_accelerator("diva", with_ppu=True)
+        gemm = Gemm(576, 16, 512, count=32)
+        fused = accel.run_gemm(gemm, write_output=False, fuse_norm=True)
+        assert fused.ppu_cycles == accel.ppu.flush_cycles() * gemm.count
+        assert fused.ppu_cycles < fused.compute_cycles
+        # The flush rides on top of the unfused GEMM latency.
+        unfused = accel.run_gemm(gemm)
+        assert (fused.compute_cycles
+                == unfused.compute_cycles + fused.ppu_cycles)
+
 
 class TestRunVector:
     def test_vector_cycles_tracked(self):

@@ -1,0 +1,178 @@
+"""Tests for the parallel experiment runner (repro.experiments.runner)."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.design_space import evaluate_point
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+class TestSweep:
+    def test_serial_preserves_order(self):
+        assert runner.sweep(square, [3, 1, 2], parallel=False) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert runner.sweep(square, items, jobs=4, parallel=True) \
+            == [x * x for x in items]
+
+    def test_star_unpacks_tuples(self):
+        assert runner.sweep(add, [(1, 2), (3, 4)], star=True,
+                            parallel=False) == [3, 7]
+
+    def test_star_parallel(self):
+        assert runner.sweep(add, [(1, 2), (3, 4)], star=True, jobs=2,
+                            parallel=True) == [3, 7]
+
+    def test_empty(self):
+        assert runner.sweep(square, [], parallel=True) == []
+
+    def test_env_disables_parallelism(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert not runner.parallel_enabled()
+        assert runner.sweep(square, [1, 2]) == [1, 4]
+
+    def test_env_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert runner.default_jobs() == 3
+
+    def test_env_jobs_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4x")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            runner.default_jobs()
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert (runner.config_hash({"a": 1, "b": (2, 3)})
+                == runner.config_hash({"b": (2, 3), "a": 1}))
+
+    def test_distinguishes_values(self):
+        assert (runner.config_hash({"a": 1})
+                != runner.config_hash({"a": 2}))
+
+    def test_handles_dataclasses_and_enums(self):
+        from repro.arch.engine import ArrayConfig
+        from repro.training import Algorithm
+
+        first = runner.config_hash(
+            {"array": ArrayConfig(), "algo": Algorithm.DP_SGD_R})
+        second = runner.config_hash(
+            {"array": ArrayConfig(), "algo": Algorithm.DP_SGD_R})
+        other = runner.config_hash(
+            {"array": ArrayConfig(height=64), "algo": Algorithm.DP_SGD_R})
+        assert first == second != other
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        cache.put("abc123", {"k": 1}, [{"speedup": 2.5}])
+        assert cache.get("abc123") == [{"speedup": 2.5}]
+
+    def test_missing_returns_none(self, tmp_path):
+        assert runner.ResultCache(tmp_path).get("nope") is None
+
+    def test_corrupt_returns_none(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        cache.root.mkdir(exist_ok=True)
+        cache.path("bad").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_entry_keeps_key_for_debugging(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        cache.put("abc", {"model": "VGG-16"}, 42)
+        payload = json.loads(cache.path("abc").read_text())
+        assert payload["key"] == {"model": "VGG-16"}
+
+    def test_run_cached_computes_once(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return {"x": 7}
+
+        key = {"sweep": [1, 2, 3]}
+        assert runner.run_cached(key, producer, cache=cache) == {"x": 7}
+        assert runner.run_cached(key, producer, cache=cache) == {"x": 7}
+        assert len(calls) == 1
+
+    def test_run_cached_without_cache_recomputes(self):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return 1
+
+        runner.run_cached({"k": 1}, producer, cache=None)
+        runner.run_cached({"k": 1}, producer, cache=None)
+        assert len(calls) == 2
+
+    def test_cached_sweep_per_item_entries(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x * 10
+
+        key_fn = lambda x: {"item": x}  # noqa: E731
+        first = runner.cached_sweep(record, [1, 2], key_fn=key_fn,
+                                    cache=cache, parallel=False)
+        assert first == [10, 20]
+        # Growing the sweep only computes the new point.
+        second = runner.cached_sweep(record, [1, 2, 3], key_fn=key_fn,
+                                     cache=cache, parallel=False)
+        assert second == [10, 20, 30]
+        assert calls == [1, 2, 3]
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_cached_sweep_without_cache_is_plain_sweep(self):
+        assert runner.cached_sweep(square, [2, 3],
+                                   key_fn=lambda x: x,
+                                   cache=None, parallel=False) == [4, 9]
+
+    def test_default_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = runner.default_cache()
+        assert cache is not None and cache.root == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert runner.default_cache() is None
+
+
+class TestDesignSpace:
+    def test_evaluate_point_is_json_serializable(self):
+        row = evaluate_point("SqueezeNet", 128, 128)
+        json.dumps(row)
+        assert row["speedup"] > 1.0
+        assert row["ws_ms"] > row["diva_ms"]
+
+    def test_run_uses_cache(self, tmp_path):
+        from repro.experiments import design_space
+
+        cache = runner.ResultCache(tmp_path)
+        rows = design_space.run(models=("SqueezeNet",), heights=(128,),
+                                cache=cache, jobs=1)
+        again = design_space.run(models=("SqueezeNet",), heights=(128,),
+                                 cache=cache, jobs=1)
+        assert rows == again
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_render_includes_rows(self):
+        from repro.experiments import design_space
+
+        rows = [{"model": "SqueezeNet", "height": 128, "width": 128,
+                 "batch": 4096, "ws_ms": 2.0, "diva_ms": 1.0,
+                 "speedup": 2.0}]
+        text = design_space.render(rows)
+        assert "SqueezeNet" in text and "128x128" in text
