@@ -1,0 +1,71 @@
+"""Multi-chip DiVa: shard one DP-SGD step across a cluster and watch
+the compute/communication balance shift.
+
+Run:
+    python examples/multi_chip_scaling.py [model]
+
+Builds ring- and all-to-all-connected clusters of 1..8 DiVa chips,
+shards a fixed global mini-batch across them (strong scaling), and
+prints the per-phase breakdown including the new Comm(allreduce) stage.
+"""
+
+import sys
+
+from repro.arch import InterconnectConfig
+from repro.core import build_cluster
+from repro.training import (
+    Algorithm,
+    CLUSTER_PHASE_ORDER,
+    max_batch_size,
+    simulate_training_step,
+)
+from repro.workloads import build_model
+
+
+def main(model_name: str = "VGG-16") -> None:
+    network = build_model(model_name)
+    print(f"Workload: {network.describe()}")
+
+    # Strong scaling: fix the global batch at the single-chip DP-SGD
+    # maximum, rounded down to a multiple of the widest cluster.
+    batch = max(8, max_batch_size(network, Algorithm.DP_SGD) // 8 * 8)
+    print(f"Global mini-batch (fixed): {batch}\n")
+
+    reports = {}
+    for chips in (1, 2, 4, 8):
+        cluster = build_cluster("diva", n_chips=chips)
+        reports[chips] = simulate_training_step(
+            network, Algorithm.DP_SGD, cluster, batch)
+
+    header = "".join(f"{f'{n} chips':>12s}" for n in reports)
+    print(f"{'Phase':34s}{header}")
+    for phase in CLUSTER_PHASE_ORDER:
+        cells = [r.phase_seconds(phase) * 1e3 for r in reports.values()]
+        if any(cells):
+            row = "".join(f"{ms:12.3f}" for ms in cells)
+            print(f"{str(phase):34s}{row}")
+    totals = "".join(f"{r.total_seconds * 1e3:12.3f}"
+                     for r in reports.values())
+    print(f"{'TOTAL (ms)':34s}{totals}")
+
+    base = reports[1].total_seconds
+    print("\nStrong-scaling summary (ring allreduce):")
+    for chips, report in reports.items():
+        speedup = base / report.total_seconds
+        print(f"  {chips} chips: {speedup:.2f}x speedup, "
+              f"{speedup / chips * 100:.0f}% efficiency, "
+              f"comm {report.comm_fraction * 100:.1f}% of step, "
+              f"{report.comm.link_bytes / 1e6:.1f} MB/chip on the wire")
+
+    # A fully connected fabric pays 2 latency hops instead of 2*(N-1):
+    # at 8 chips the difference is visible on latency-bound payloads.
+    a2a = build_cluster(
+        "diva", n_chips=8,
+        interconnect=InterconnectConfig(topology="all_to_all"))
+    r_a2a = simulate_training_step(network, Algorithm.DP_SGD, a2a, batch)
+    print(f"\n8-chip allreduce: ring {reports[8].comm_seconds * 1e3:.3f} ms "
+          f"vs all-to-all {r_a2a.comm_seconds * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "VGG-16")

@@ -6,6 +6,8 @@ Usage:
     python -m repro run fig13                  # regenerate one figure
     python -m repro run all                    # regenerate everything
     python -m repro simulate ResNet-50         # one-model comparison
+    python -m repro design-space --heights 64  # PE-geometry sweep
+    python -m repro scaling --chips 1 2 4 8    # multi-chip scaling
 """
 
 from __future__ import annotations
@@ -88,6 +90,29 @@ def _cmd_design_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments import scaling
+    from repro.experiments.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        rows = scaling.run(
+            models=tuple(args.models or scaling.DEFAULT_MODELS),
+            chips=tuple(args.chips or scaling.DEFAULT_CHIPS),
+            algorithms=tuple(args.algorithms or scaling.DEFAULT_ALGORITHMS),
+            mode=args.mode,
+            topology=args.topology,
+            batch=args.batch,
+            jobs=args.jobs,
+            cache=cache,
+        )
+    except ValueError as error:
+        print(f"scaling: {error}", file=sys.stderr)
+        return 2
+    print(scaling.render(rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DiVa (MICRO 2022) reproduction")
@@ -124,6 +149,36 @@ def main(argv: list[str] | None = None) -> int:
     design.add_argument("--cache-dir", default=None,
                         help="persist results as JSON under this "
                              "directory, keyed by config hash")
+    # Defaults resolve inside _cmd_scaling (None sentinels here) so
+    # building the parser never imports the experiments package.
+    scal = sub.add_parser(
+        "scaling",
+        help="multi-chip data-parallel DP-SGD scaling sweep "
+             "(parallel, JSON-cached)")
+    scal.add_argument("--chips", nargs="+", type=int, default=None,
+                      metavar="N",
+                      help="cluster sizes to sweep (default: 1 2 4 8)")
+    scal.add_argument("--models", nargs="+", default=None,
+                      choices=MODEL_NAMES, metavar="MODEL",
+                      help="workloads (default: VGG-16 BERT-large)")
+    scal.add_argument("--algorithms", nargs="+", default=None,
+                      choices=["SGD", "DP-SGD", "DP-SGD(R)"],
+                      metavar="ALG",
+                      help="training algorithms (default: the DP pair)")
+    scal.add_argument("--mode", choices=["strong", "weak"],
+                      default="strong",
+                      help="strong: fixed global batch; weak: fixed "
+                           "per-chip batch")
+    scal.add_argument("--topology", choices=["ring", "all_to_all"],
+                      default="ring", help="interconnect topology")
+    scal.add_argument("--batch", type=int, default=None,
+                      help="global batch at one chip (default: largest "
+                           "feasible multiple of lcm(chips))")
+    scal.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: all cores)")
+    scal.add_argument("--cache-dir", default=None,
+                      help="persist results as JSON under this "
+                           "directory, keyed by config hash")
     args = parser.parse_args(argv)
     handlers = {
         "models": _cmd_models,
@@ -131,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "simulate": _cmd_simulate,
         "design-space": _cmd_design_space,
+        "scaling": _cmd_scaling,
     }
     return handlers[args.command](args)
 

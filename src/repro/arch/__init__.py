@@ -1,6 +1,13 @@
-"""Accelerator substrate: engines, memory, vector unit, bandwidth, GPUs."""
+"""Accelerator substrate: engines, memory, vector unit, bandwidth, GPUs,
+and multi-chip clusters."""
 
 from repro.arch.accelerator import Accelerator, OpRun
+from repro.arch.cluster import Cluster
+from repro.arch.interconnect import (
+    TOPOLOGIES,
+    Interconnect,
+    InterconnectConfig,
+)
 from repro.arch.bandwidth import (
     SramBandwidth,
     os_bandwidth,
@@ -15,6 +22,10 @@ from repro.arch.vector import VectorUnit, VectorUnitConfig
 __all__ = [
     "Accelerator",
     "OpRun",
+    "Cluster",
+    "Interconnect",
+    "InterconnectConfig",
+    "TOPOLOGIES",
     "ArrayConfig",
     "GemmEngine",
     "GemmStats",

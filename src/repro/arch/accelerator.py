@@ -4,8 +4,11 @@ An :class:`Accelerator` executes abstract operations (GEMMs, vector
 kernels, DRAM moves) and returns :class:`OpRun` records.  DMA transfers
 are double-buffered against compute, so an operation's latency is
 ``max(compute cycles, DRAM transfer cycles)``; the DRAM access latency
-is exposed once per operation.  Aggregated OpRuns feed the training
-reports (Figures 5/13/14) and the energy model (Figure 16).
+is exposed once per operation.  Aggregated OpRuns feed every downstream
+consumer: the paper-figure training reports (Figures 5/13/14/15), the
+energy model (Figure 16), and the multi-chip ``scaling`` experiment,
+where per-shard OpRuns combine with the cluster's allreduce OpRuns
+(:mod:`repro.arch.cluster`) into one sharded-step report.
 """
 
 from __future__ import annotations
@@ -24,7 +27,11 @@ if TYPE_CHECKING:  # avoid a circular import: core composes arch
 
 @dataclass(frozen=True)
 class OpRun:
-    """Execution record of one operation (or an aggregate of many)."""
+    """Execution record of one operation (or an aggregate of many).
+
+    ``link_bytes`` is per-chip interconnect wire traffic — nonzero only
+    for collective operations charged by :class:`repro.arch.cluster.Cluster`.
+    """
 
     cycles: int = 0
     compute_cycles: int = 0
@@ -36,6 +43,7 @@ class OpRun:
     dram_write_bytes: int = 0
     sram_read_bytes: int = 0
     sram_write_bytes: int = 0
+    link_bytes: int = 0
 
     @property
     def dram_bytes(self) -> int:
@@ -54,6 +62,7 @@ class OpRun:
             dram_write_bytes=self.dram_write_bytes + other.dram_write_bytes,
             sram_read_bytes=self.sram_read_bytes + other.sram_read_bytes,
             sram_write_bytes=self.sram_write_bytes + other.sram_write_bytes,
+            link_bytes=self.link_bytes + other.link_bytes,
         )
 
     @staticmethod

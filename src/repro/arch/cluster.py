@@ -1,0 +1,99 @@
+"""Multi-chip cluster: N accelerators behind one interconnect.
+
+A :class:`Cluster` composes ``N`` identical :class:`Accelerator` chips
+with an :class:`~repro.arch.interconnect.Interconnect`.  It is the unit
+of work for data-parallel DP-SGD sharding
+(:func:`repro.training.simulate.simulate_sharded_training_step`): each
+chip executes one shard of the mini-batch locally, and the cluster
+charges the cross-chip collectives as :class:`OpRun` records in the
+chips' clock domain so they aggregate with every existing phase.
+
+The chips must share one clock frequency — the cluster exposes a single
+cycle domain, and collective seconds are converted into it with
+``ceil(seconds * frequency)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.arch.accelerator import Accelerator, OpRun
+from repro.arch.interconnect import Interconnect, InterconnectConfig
+
+
+class Cluster:
+    """``N`` accelerators connected by a configurable interconnect.
+
+    Parameters
+    ----------
+    chips:
+        The member accelerators.  They must be homogeneous in clock
+        frequency (data-parallel shards execute in lock-step; a single
+        cycle domain keeps every report comparable).
+    interconnect:
+        The chip-to-chip fabric, as an :class:`Interconnect` or an
+        :class:`InterconnectConfig` (default: ring, 100 GB/s links).
+    """
+
+    def __init__(
+        self,
+        chips: Sequence[Accelerator],
+        interconnect: Interconnect | InterconnectConfig | None = None,
+    ) -> None:
+        if not chips:
+            raise ValueError("a Cluster needs at least one chip")
+        freqs = {chip.frequency_hz for chip in chips}
+        if len(freqs) != 1:
+            raise ValueError(
+                f"cluster chips must share one clock frequency, got {freqs}")
+        if isinstance(interconnect, InterconnectConfig):
+            interconnect = Interconnect(interconnect)
+        self.chips = tuple(chips)
+        self.interconnect = interconnect or Interconnect()
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.chips)
+
+    @property
+    def chip(self) -> Accelerator:
+        """The representative chip (shards are homogeneous)."""
+        return self.chips[0]
+
+    @property
+    def name(self) -> str:
+        return f"{self.chip.name}x{self.n_chips}"
+
+    @property
+    def topology(self) -> str:
+        return self.interconnect.topology
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.chip.frequency_hz
+
+    def allreduce(self, payload_bytes: int) -> OpRun:
+        """Charge one allreduce over ``payload_bytes`` as an OpRun.
+
+        The cost is the closed-form collective time converted to chip
+        cycles; ``link_bytes`` records the per-chip wire traffic.  On a
+        single-chip cluster every collective is free (a zero OpRun), so
+        the N=1 cluster is cycle-identical to a bare accelerator.
+        """
+        seconds = self.interconnect.allreduce_seconds(
+            payload_bytes, self.n_chips)
+        cycles = math.ceil(seconds * self.frequency_hz)
+        return OpRun(
+            cycles=cycles,
+            link_bytes=Interconnect.allreduce_bytes_per_chip(
+                payload_bytes, self.n_chips),
+        )
+
+    def seconds(self, cycles: int) -> float:
+        """Convert cluster-domain cycles to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Cluster({self.chip.name} x {self.n_chips}, "
+                f"{self.interconnect!r})")

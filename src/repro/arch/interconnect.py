@@ -1,0 +1,99 @@
+"""Chip-to-chip interconnect model for multi-accelerator clusters.
+
+Data-parallel DP-SGD needs exactly two collectives per training step
+(see :mod:`repro.training.simulate`): an allreduce over the per-batch
+gradient sum and, for the private algorithms, a (tiny) allreduce over
+per-example norm bookkeeping.  Both are modeled closed-form on top of a
+link-level abstraction: every chip owns identical full-duplex links of
+``link_bandwidth_bytes_per_s``, and every traversal pays
+``link_latency_s`` once.
+
+Two topologies are supported:
+
+``ring``
+    The classic bandwidth-optimal ring allreduce (reduce-scatter +
+    all-gather): ``2*(N-1)`` steps, each moving ``payload/N`` bytes per
+    link, so
+
+    ``T_ring = 2*(N-1) * (payload/(N*bw) + latency)``.
+
+``all_to_all``
+    A fully connected fabric where each chip exchanges its ``payload/N``
+    shard with all ``N-1`` peers concurrently (direct reduce-scatter,
+    then direct all-gather — two latency hops total):
+
+    ``T_a2a = 2 * (payload/(N*bw) + latency)``.
+
+Both schedules move the same per-chip wire traffic,
+``2*(N-1)/N * payload`` bytes — the well-known lower bound for a
+bandwidth-optimal allreduce — and differ only in how many latency hops
+they expose.  At ``N == 1`` every collective is free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Supported interconnect topologies.
+TOPOLOGIES = ("ring", "all_to_all")
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Link-level parameters of the chip-to-chip fabric.
+
+    Defaults follow a contemporary accelerator interconnect
+    (100 GB/s per direction per link, ~1 microsecond hop latency).
+    """
+
+    topology: str = "ring"
+    link_bandwidth_bytes_per_s: float = 100e9
+    link_latency_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {TOPOLOGIES}")
+        if self.link_bandwidth_bytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.link_latency_s < 0:
+            raise ValueError("link latency cannot be negative")
+
+
+class Interconnect:
+    """Closed-form collective cost model over an :class:`InterconnectConfig`."""
+
+    def __init__(self, config: InterconnectConfig | None = None) -> None:
+        self.config = config or InterconnectConfig()
+
+    @property
+    def topology(self) -> str:
+        return self.config.topology
+
+    @staticmethod
+    def allreduce_bytes_per_chip(payload_bytes: int, n_chips: int) -> int:
+        """Wire bytes each chip moves for one allreduce.
+
+        ``2*(N-1)/N * payload`` — identical for both topologies (both
+        implement a bandwidth-optimal reduce-scatter + all-gather).
+        """
+        if n_chips <= 1 or payload_bytes <= 0:
+            return 0
+        return math.ceil(2 * (n_chips - 1) * payload_bytes / n_chips)
+
+    def allreduce_seconds(self, payload_bytes: int, n_chips: int) -> float:
+        """Wall-clock seconds of one allreduce over ``payload_bytes``."""
+        if n_chips <= 1 or payload_bytes <= 0:
+            return 0.0
+        cfg = self.config
+        shard_s = payload_bytes / (n_chips * cfg.link_bandwidth_bytes_per_s)
+        steps = 2 * (n_chips - 1) if cfg.topology == "ring" else 2
+        return steps * (shard_s + cfg.link_latency_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cfg = self.config
+        return (f"Interconnect({cfg.topology}, "
+                f"{cfg.link_bandwidth_bytes_per_s / 1e9:.0f} GB/s, "
+                f"{cfg.link_latency_s * 1e6:.1f} us)")

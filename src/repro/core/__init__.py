@@ -1,7 +1,12 @@
 """DiVa core: outer-product GEMM engine, PPU, configuration, factory."""
 
 from repro.core.config import DivaConfig
-from repro.core.diva import ACCELERATOR_KINDS, build_accelerator, build_diva
+from repro.core.diva import (
+    ACCELERATOR_KINDS,
+    build_accelerator,
+    build_cluster,
+    build_diva,
+)
 from repro.core.outer_product import OuterProductEngine
 from repro.core.ppu import PostProcessingUnit, PpuConfig
 
@@ -12,5 +17,6 @@ __all__ = [
     "PpuConfig",
     "ACCELERATOR_KINDS",
     "build_accelerator",
+    "build_cluster",
     "build_diva",
 ]

@@ -12,6 +12,8 @@ Figures 13–16:
 from __future__ import annotations
 
 from repro.arch.accelerator import Accelerator
+from repro.arch.cluster import Cluster
+from repro.arch.interconnect import Interconnect, InterconnectConfig
 from repro.arch.memory import MemorySystem
 from repro.arch.systolic import OutputStationaryEngine, WeightStationaryEngine
 from repro.arch.vector import VectorUnit
@@ -74,3 +76,23 @@ def build_diva(config: DivaConfig | None = None,
                with_ppu: bool = True) -> Accelerator:
     """Convenience builder for the full DiVa design."""
     return build_accelerator("diva", with_ppu=with_ppu, config=config)
+
+
+def build_cluster(
+    kind: str = "diva",
+    n_chips: int = 1,
+    with_ppu: bool | None = None,
+    config: DivaConfig | None = None,
+    interconnect: Interconnect | InterconnectConfig | None = None,
+) -> Cluster:
+    """Build a homogeneous multi-chip cluster of one design point.
+
+    ``n_chips`` identical accelerators (see :func:`build_accelerator`)
+    behind one interconnect — the execution target of the data-parallel
+    sharded training step and the ``scaling`` experiment.
+    """
+    if n_chips < 1:
+        raise ValueError(f"n_chips must be >= 1, got {n_chips}")
+    chips = [build_accelerator(kind, with_ppu=with_ppu, config=config)
+             for _ in range(n_chips)]
+    return Cluster(chips, interconnect=interconnect)

@@ -16,6 +16,8 @@ Module              Reproduces
 ``sensitivity``     Section VI-C (image/sequence scaling)
 ``maxbatch``        Section III-A (max mini-batch)
 ``ppu_traffic``     Section I/IV-C (99% traffic reduction)
+``design_space``    Beyond the paper: PE-array geometry sweep
+``scaling``         Beyond the paper: multi-chip DP-SGD scaling
 ==================  ==========================================
 
 Each module exposes ``run()`` returning structured results and
@@ -36,6 +38,7 @@ from repro.experiments import (
     fig17_gpu,
     maxbatch,
     ppu_traffic,
+    scaling,
     sensitivity,
     table1_bandwidth,
     table3_area_power,
@@ -58,6 +61,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation,
     "gemm_sweep": gemm_sweep,
     "design_space": design_space,
+    "scaling": scaling,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

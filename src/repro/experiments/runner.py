@@ -51,6 +51,35 @@ puts into ``key_obj`` — sweep parameters plus the relevant architecture
 config — so changing any knob produces a fresh entry.  Code changes are
 *not* hashed; delete the cache directory (or pass a versioned key) when
 the models themselves change.
+
+Examples
+--------
+Parallel map over picklable work items (``fn`` must live at module
+scope so worker processes can import it)::
+
+    from repro.experiments import runner
+
+    def cube(x):                                  # module-level
+        return x ** 3
+
+    runner.sweep(cube, [1, 2, 3], jobs=2)         # -> [1, 8, 27]
+    runner.sweep(pow, [(2, 3), (3, 2)], star=True)  # -> [8, 9]
+
+Persist one JSON entry per design point, so growing a sweep recomputes
+only the new combinations (this is how ``design-space`` and ``scaling``
+drive their CLI ``--cache-dir``)::
+
+    cache = runner.ResultCache(".repro_cache")
+    rows = runner.cached_sweep(
+        evaluate_point, work, star=True, cache=cache,
+        key_fn=lambda item: {"experiment": "design_space",
+                             "model": item[0], "height": item[1],
+                             "width": item[2]})
+
+Memoize a whole experiment under one key::
+
+    table = runner.run_cached({"experiment": "fig13", "rev": 2},
+                              lambda: fig13_speedup.run(), cache=cache)
 """
 
 from __future__ import annotations

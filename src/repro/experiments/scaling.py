@@ -1,0 +1,199 @@
+"""Multi-chip data-parallel DP-SGD scaling study (beyond the paper).
+
+DiVa (MICRO 2022) evaluates one chip, but DP-SGD is data-parallel by
+construction: per-example clipping is local to a shard, and only the
+clipped-gradient sum plus per-example norm bookkeeping cross chips
+(:func:`repro.training.simulate.allreduce_payload_bytes`).  This
+experiment sweeps chip count x workload x DP algorithm on a
+:class:`~repro.arch.cluster.Cluster` of DiVa chips and reports the
+speedup, scaling efficiency, and communication/compute breakdown of a
+sharded training step, under either scaling regime:
+
+``strong``
+    The global mini-batch is fixed (the largest multiple of
+    ``lcm(chip counts)`` that fits a single chip, by default) and split
+    ever thinner across chips.
+``weak``
+    The per-chip shard is fixed and the global batch grows with the
+    cluster, so ideal scaling keeps the step time flat.
+
+Every design point runs in its own worker process with one JSON cache
+entry per point (:func:`repro.experiments.runner.cached_sweep`), so
+growing the swept set only computes the new combinations.
+
+Run it from the CLI::
+
+    python -m repro scaling --chips 1 2 4 8 --mode strong \
+        --topology ring --cache-dir .repro_cache
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import runner
+from repro.experiments.report import format_table
+
+#: Chip counts swept by default.
+DEFAULT_CHIPS = (1, 2, 4, 8)
+#: Models evaluated by default (one CNN, one transformer).
+DEFAULT_MODELS = ("VGG-16", "BERT-large")
+#: DP algorithms evaluated by default.
+DEFAULT_ALGORITHMS = ("DP-SGD", "DP-SGD(R)")
+
+
+def default_global_batch(model: str, chip_counts: tuple[int, ...]) -> int:
+    """Largest DP-SGD-feasible batch divisible by every chip count.
+
+    Rounds the single-chip max mini-batch down to a multiple of
+    ``lcm(chip_counts)`` so strong scaling shards evenly, with a floor
+    of one example per chip at the largest count (models whose max
+    batch is below the LCM — e.g. BERT-large — are swept at the LCM
+    itself; the latency model does not enforce capacity).
+    """
+    from repro.training import Algorithm, max_batch_size
+    from repro.workloads import build_model
+
+    batch = max_batch_size(build_model(model), Algorithm.DP_SGD)
+    lcm = math.lcm(*chip_counts)
+    return max(lcm, batch // lcm * lcm)
+
+
+def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
+                   topology: str, base_batch: int) -> dict:
+    """One scaling point: a sharded step on a ``chips``-wide cluster.
+
+    ``base_batch`` is the global batch at one chip; weak scaling grows
+    it with the cluster.  Returns a JSON-serializable dict so results
+    can be persisted by :mod:`repro.experiments.runner`.
+    """
+    from repro.arch.interconnect import InterconnectConfig
+    from repro.core import build_cluster
+    from repro.training import Algorithm, simulate_sharded_training_step
+    from repro.workloads import build_model
+
+    global_batch = base_batch * chips if mode == "weak" else base_batch
+    cluster = build_cluster(
+        "diva", n_chips=chips,
+        interconnect=InterconnectConfig(topology=topology))
+    report = simulate_sharded_training_step(
+        build_model(model), Algorithm(algorithm), cluster, global_batch)
+    return {
+        "model": model,
+        "algorithm": algorithm,
+        "mode": mode,
+        "topology": topology,
+        "chips": chips,
+        "global_batch": global_batch,
+        "local_batch": report.local_batch,
+        "step_ms": report.total_seconds * 1e3,
+        "compute_ms": report.compute_seconds * 1e3,
+        "comm_ms": report.comm_seconds * 1e3,
+        "comm_fraction": report.comm_fraction,
+        "link_mb_per_chip": report.comm.link_bytes / 1e6,
+    }
+
+
+def run(
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    chips: tuple[int, ...] = DEFAULT_CHIPS,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    mode: str = "strong",
+    topology: str = "ring",
+    batch: int | None = None,
+    jobs: int | None = None,
+    cache: "runner.ResultCache | None" = None,
+) -> list[dict]:
+    """Sweep the scaling space; one row per (model, algorithm, chips).
+
+    Validates every input before fanning out, so a bad sweep fails
+    with one clean :class:`ValueError` instead of a worker traceback
+    (and never writes partial results into the cache).
+    """
+    if mode not in ("strong", "weak"):
+        raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    chip_counts = tuple(sorted(set(chips)))
+    if not chip_counts:
+        raise ValueError("chips must name at least one cluster size")
+    bad = [n for n in chip_counts if n < 1]
+    if bad:
+        raise ValueError(f"chip counts must be >= 1, got {bad}")
+    if batch is not None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if mode == "strong":
+            # Weak scaling grows the global batch with the cluster, so
+            # every shard is exactly `batch`; strong scaling splits one
+            # fixed batch and needs it to shard evenly everywhere.
+            indivisible = [n for n in chip_counts if batch % n]
+            if indivisible:
+                raise ValueError(
+                    f"global batch {batch} does not divide evenly "
+                    f"across chip counts {indivisible}")
+    work = []
+    for model in models:
+        base = batch if batch is not None \
+            else default_global_batch(model, chip_counts)
+        for algorithm in algorithms:
+            for n in chip_counts:
+                work.append((model, n, algorithm, mode, topology, base))
+    return runner.cached_sweep(
+        evaluate_point, work, star=True, jobs=jobs, cache=cache,
+        key_fn=lambda point: {"experiment": "scaling",
+                              "model": point[0], "chips": point[1],
+                              "algorithm": point[2], "mode": point[3],
+                              "topology": point[4], "base_batch": point[5]},
+    )
+
+
+def annotate(rows: list[dict]) -> list[dict]:
+    """Attach speedup / efficiency relative to each series' baseline.
+
+    A series is one (model, algorithm, mode, topology) group; its
+    baseline is the smallest swept chip count.  Both regimes compare
+    throughput (examples per second), which reduces to the plain
+    latency ratio under strong scaling and to step-time flatness under
+    weak scaling.  Efficiency is speedup over the ideal chip ratio.
+    """
+    baselines: dict[tuple, dict] = {}
+    for row in rows:
+        series = (row["model"], row["algorithm"], row["mode"],
+                  row["topology"])
+        best = baselines.get(series)
+        if best is None or row["chips"] < best["chips"]:
+            baselines[series] = row
+    out = []
+    for row in rows:
+        base = baselines[(row["model"], row["algorithm"], row["mode"],
+                          row["topology"])]
+        throughput = row["global_batch"] / row["step_ms"]
+        base_throughput = base["global_batch"] / base["step_ms"]
+        speedup = throughput / base_throughput
+        out.append({**row,
+                    "speedup": speedup,
+                    "efficiency": speedup * base["chips"] / row["chips"]})
+    return out
+
+
+def render(rows: list[dict] | None = None) -> str:
+    """The scaling sweep as a text table."""
+    rows = annotate(rows if rows is not None else run())
+    mode = rows[0]["mode"] if rows else "strong"
+    topology = rows[0]["topology"] if rows else "ring"
+    table = [
+        [row["model"], row["algorithm"], row["chips"], row["global_batch"],
+         row["step_ms"], row["comm_ms"], 100.0 * row["comm_fraction"],
+         row["speedup"], row["efficiency"]]
+        for row in rows
+    ]
+    return format_table(
+        ["Model", "Algorithm", "Chips", "Global B", "Step ms", "Comm ms",
+         "Comm %", "Speedup", "Efficiency"],
+        table,
+        title=(f"Multi-chip data-parallel scaling ({mode} scaling, "
+               f"{topology} allreduce)"),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render())

@@ -7,10 +7,18 @@ from repro.training.memory import (
     max_batch_size,
     memory_breakdown,
 )
-from repro.training.phases import BACKPROP_PHASES, PHASE_ORDER, Phase
+from repro.training.phases import (
+    BACKPROP_PHASES,
+    CLUSTER_PHASE_ORDER,
+    PHASE_ORDER,
+    Phase,
+)
 from repro.training.plan import bottleneck_gemms, phase_gemms
 from repro.training.simulate import (
+    ClusterTrainingReport,
     TrainingReport,
+    allreduce_payload_bytes,
+    simulate_sharded_training_step,
     simulate_training_step,
     stage_utilization,
 )
@@ -19,6 +27,7 @@ __all__ = [
     "Algorithm",
     "Phase",
     "PHASE_ORDER",
+    "CLUSTER_PHASE_ORDER",
     "BACKPROP_PHASES",
     "phase_gemms",
     "bottleneck_gemms",
@@ -27,6 +36,9 @@ __all__ = [
     "max_batch_size",
     "DEFAULT_CAPACITY_BYTES",
     "TrainingReport",
+    "ClusterTrainingReport",
+    "allreduce_payload_bytes",
     "simulate_training_step",
+    "simulate_sharded_training_step",
     "stage_utilization",
 ]

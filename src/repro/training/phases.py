@@ -11,7 +11,13 @@ import enum
 
 
 class Phase(enum.Enum):
-    """Stages of a training step (labels follow Figure 5/14)."""
+    """Stages of a training step (labels follow Figure 5/14).
+
+    ``COMM`` is not a paper phase: it is the cross-chip collective stage
+    (norm + clipped-gradient allreduce) charged only by the multi-chip
+    sharded step (:func:`repro.training.simulate.simulate_sharded_training_step`);
+    single-chip reports never contain it.
+    """
 
     FWD = "Fwdprop"
     BWD_ACT_1 = "Bwd(activation grad, 1st pass)"
@@ -21,15 +27,20 @@ class Phase(enum.Enum):
     BWD_BATCH_GRAD = "Bwd(per-batch grad)"
     BWD_GRAD_CLIP = "Bwd(grad clip)"
     BWD_REDUCE_NOISE = "Bwd(Reduce/noise)"
+    COMM = "Comm(allreduce)"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
 
-#: Phases belonging to backpropagation (everything but forward).
-BACKPROP_PHASES = tuple(p for p in Phase if p is not Phase.FWD)
+#: Phases belonging to backpropagation (everything but forward and
+#: cross-chip communication).
+BACKPROP_PHASES = tuple(
+    p for p in Phase if p not in (Phase.FWD, Phase.COMM)
+)
 
-#: Rendering order used by the breakdown figures.
+#: Rendering order used by the single-chip breakdown figures (5/14);
+#: deliberately excludes the cluster-only COMM phase.
 PHASE_ORDER = (
     Phase.FWD,
     Phase.BWD_ACT_1,
@@ -40,3 +51,6 @@ PHASE_ORDER = (
     Phase.BWD_GRAD_CLIP,
     Phase.BWD_REDUCE_NOISE,
 )
+
+#: Rendering order for multi-chip sharded-step breakdowns.
+CLUSTER_PHASE_ORDER = PHASE_ORDER + (Phase.COMM,)

@@ -22,6 +22,15 @@ Modeling notes
   DP-SGD(R) the gradients themselves are never written off-chip — the
   source of the paper's "99% reduction in off-chip data movement during
   gradient post-processing".
+* Multi-chip execution (:func:`simulate_sharded_training_step`) is
+  data-parallel: the global mini-batch splits evenly across the chips
+  of a :class:`repro.arch.cluster.Cluster`, every per-example phase
+  runs locally on a shard, one communication phase charges the
+  norm + clipped-gradient-sum allreduce, and the optimizer (reduce /
+  noise / update) runs replicated — every chip holds the full model,
+  generates identical noise from a shared seed, and applies the same
+  update, so no parameter broadcast is needed.  Passing a ``Cluster``
+  to :func:`simulate_training_step` dispatches to the sharded path.
 """
 
 from __future__ import annotations
@@ -30,8 +39,9 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.arch.accelerator import Accelerator, OpRun
+from repro.arch.cluster import Cluster
 from repro.training.algorithms import Algorithm
-from repro.training.phases import PHASE_ORDER, Phase
+from repro.training.phases import CLUSTER_PHASE_ORDER, PHASE_ORDER, Phase
 from repro.training.plan import phase_gemms
 from repro.workloads.gemms import Gemm
 from repro.workloads.layer import Embedding
@@ -109,6 +119,92 @@ class TrainingReport:
         return {str(p): self.phase_seconds(p) for p in PHASE_ORDER}
 
 
+@dataclass(frozen=True)
+class ClusterTrainingReport:
+    """One data-parallel sharded training step on a multi-chip cluster.
+
+    ``shard`` is the local execution of one chip's shard (all chips are
+    identical, so one report represents every shard); ``comm`` is the
+    cross-chip collective stage.  The step latency is
+    ``shard latency + comm latency``: the allreduce sits on the
+    critical path between the last local phase and the (replicated)
+    optimizer — the model does not overlap communication with compute.
+    """
+
+    cluster: str
+    n_chips: int
+    topology: str
+    global_batch: int
+    shard: TrainingReport
+    comm: OpRun
+
+    @property
+    def local_batch(self) -> int:
+        """Per-chip shard size."""
+        return self.global_batch // self.n_chips
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.shard.frequency_hz
+
+    @cached_property
+    def phases(self) -> dict[Phase, OpRun]:
+        """Shard phases plus the communication phase."""
+        merged = dict(self.shard.phases)
+        merged[Phase.COMM] = self.comm
+        return merged
+
+    @cached_property
+    def total(self) -> OpRun:
+        """Critical-path aggregate of one chip (local phases + comm)."""
+        return self.shard.total + self.comm
+
+    @property
+    def total_cycles(self) -> int:
+        return self.total.cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total.cycles / self.frequency_hz
+
+    @property
+    def compute_seconds(self) -> float:
+        """Local (per-shard) portion of the step."""
+        return self.shard.total_seconds
+
+    @property
+    def comm_seconds(self) -> float:
+        """Cross-chip collective portion of the step."""
+        return self.comm.cycles / self.frequency_hz
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the step spent in the allreduce stage."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.comm.cycles / self.total_cycles
+
+    @property
+    def cluster_dram_bytes(self) -> int:
+        """Off-chip traffic summed over all chips."""
+        return self.shard.total.dram_bytes * self.n_chips
+
+    @property
+    def cluster_link_bytes(self) -> int:
+        """Interconnect wire traffic summed over all chips."""
+        return self.comm.link_bytes * self.n_chips
+
+    def phase_cycles(self, phase: Phase) -> int:
+        return self.phases.get(phase, OpRun.zero()).cycles
+
+    def phase_seconds(self, phase: Phase) -> float:
+        return self.phase_cycles(phase) / self.frequency_hz
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase -> seconds mapping, communication last."""
+        return {str(p): self.phase_seconds(p) for p in CLUSTER_PHASE_ORDER}
+
+
 def _vector_path_elems(network: Network, batch: int) -> int:
     """Activation elements of non-GEMM layers for a mini-batch."""
     return batch * sum(
@@ -149,10 +245,18 @@ def _elementwise(accel: Accelerator, elems: int,
 def simulate_training_step(
     network: Network,
     algorithm: Algorithm,
-    accelerator: Accelerator,
+    accelerator: "Accelerator | Cluster",
     batch: int,
-) -> TrainingReport:
-    """Simulate one training step and return the per-phase report."""
+) -> "TrainingReport | ClusterTrainingReport":
+    """Simulate one training step and return the per-phase report.
+
+    Passing a :class:`~repro.arch.cluster.Cluster` dispatches to
+    :func:`simulate_sharded_training_step` with ``batch`` as the global
+    mini-batch, returning a :class:`ClusterTrainingReport`.
+    """
+    if isinstance(accelerator, Cluster):
+        return simulate_sharded_training_step(
+            network, algorithm, accelerator, batch)
     plan = phase_gemms(network, algorithm, batch)
     fuse = accelerator.can_fuse_norm
     gemm_params = network.gemm_params
@@ -268,6 +372,68 @@ def simulate_training_step(
         batch=batch,
         frequency_hz=accelerator.frequency_hz,
         phases=phases,
+    )
+
+
+def allreduce_payload_bytes(network: Network,
+                            algorithm: Algorithm,
+                            global_batch: int) -> list[int]:
+    """Per-collective payloads of one sharded step, in bytes.
+
+    Data-parallel DP-SGD needs at most two collectives:
+
+    * the per-batch (clipped) gradient sum — ``params * GRAD_BYTES``
+      for every algorithm, since each chip only holds its shard's
+      partial sum;
+    * per-example norm bookkeeping — ``global_batch * GRAD_BYTES``,
+      private algorithms only.  Clipping itself is local (each norm
+      belongs to one shard's example), but the clip-scale statistics
+      feed the shared privacy accountant, so one scalar per example
+      crosses chips.
+    """
+    payloads = [network.params * GRAD_BYTES]
+    if algorithm.is_private:
+        payloads.append(global_batch * GRAD_BYTES)
+    return payloads
+
+
+def simulate_sharded_training_step(
+    network: Network,
+    algorithm: Algorithm,
+    cluster: Cluster,
+    global_batch: int,
+) -> ClusterTrainingReport:
+    """Simulate one data-parallel training step sharded across a cluster.
+
+    The global mini-batch must divide evenly by the chip count.  Each
+    chip runs the full single-chip phase sequence on its
+    ``global_batch / N`` shard (the per-batch reduce/noise/update tail
+    is replicated, so it appears once — all chips execute it in
+    lock-step on identical data).  The communication phase charges one
+    allreduce per payload of :func:`allreduce_payload_bytes`; on an
+    ``N=1`` cluster every collective is free and the shard report is
+    bitwise-identical to :func:`simulate_training_step` on the bare
+    chip.
+    """
+    n = cluster.n_chips
+    if global_batch <= 0:
+        raise ValueError(f"global batch must be positive, got {global_batch}")
+    if global_batch % n:
+        raise ValueError(
+            f"global batch {global_batch} does not divide evenly across "
+            f"{n} chips")
+    shard = simulate_training_step(
+        network, algorithm, cluster.chip, global_batch // n)
+    comm = OpRun.zero()
+    for payload in allreduce_payload_bytes(network, algorithm, global_batch):
+        comm = comm + cluster.allreduce(payload)
+    return ClusterTrainingReport(
+        cluster=cluster.name,
+        n_chips=n,
+        topology=cluster.topology,
+        global_batch=global_batch,
+        shard=shard,
+        comm=comm,
     )
 
 

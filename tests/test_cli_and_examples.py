@@ -36,12 +36,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "DiVa" in out
 
+    def test_scaling(self, capsys):
+        assert cli_main(["scaling", "--chips", "1", "2",
+                         "--models", "SqueezeNet",
+                         "--algorithms", "DP-SGD", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup" in out
+        assert "Efficiency" in out
+        assert "SqueezeNet" in out
+
+    def test_scaling_rejects_bad_sweep_cleanly(self, capsys):
+        assert cli_main(["scaling", "--chips", "1", "8",
+                         "--models", "SqueezeNet", "--batch", "100"]) == 2
+        assert "divide" in capsys.readouterr().err
+
 
 @pytest.mark.parametrize("script,arg", [
     ("quickstart.py", "SqueezeNet"),
     ("workload_characterization.py", "LSTM-small"),
     ("accelerator_comparison.py", "SqueezeNet"),
     ("dp_training.py", None),
+    ("multi_chip_scaling.py", "SqueezeNet"),
 ])
 def test_example_runs(script, arg):
     cmd = [sys.executable, str(EXAMPLES / script)]

@@ -1,0 +1,45 @@
+"""Docs stay healthy: links resolve, the README CLI table matches the
+actual CLI (same checks the CI docs job runs via tools/check_docs.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def test_readme_and_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "modeling-assumptions.md").is_file()
+
+
+def test_internal_links_resolve():
+    assert check_docs.check_links(check_docs.iter_doc_files()) == []
+
+
+def test_cli_table_matches_cli():
+    problems = check_docs.check_cli_table(REPO_ROOT / "README.md")
+    assert problems == [], "\n".join(problems)
+
+
+def test_main_aggregates_helper_problems(monkeypatch):
+    # Wiring only — the helpers themselves are exercised above, so
+    # don't repeat their subprocess fan-out here.
+    monkeypatch.setattr(check_docs, "check_links", lambda docs: [])
+    monkeypatch.setattr(check_docs, "check_cli_table", lambda readme: [])
+    assert check_docs.main() == 0
+    monkeypatch.setattr(check_docs, "check_cli_table",
+                        lambda readme: ["stale row"])
+    assert check_docs.main() == 1

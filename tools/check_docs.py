@@ -1,0 +1,129 @@
+"""Docs health check: internal links resolve, CLI table can't rot.
+
+Run from anywhere:
+    python tools/check_docs.py
+
+Checks, in order:
+
+1. every relative link in ``README.md`` and ``docs/*.md`` points at a
+   file or directory that exists in the repository;
+2. the set of subcommands documented in the README's CLI table matches
+   exactly the set ``python -m repro --help`` advertises;
+3. ``python -m repro --help`` and every documented subcommand's
+   ``--help`` exit cleanly.
+
+Exits nonzero (listing every problem) on any failure, so CI can gate
+on it; see the ``docs`` job in ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: First backticked token of a markdown table row: | `models` | ...
+_CLI_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+#: The subcommand set argparse prints: {models,experiments,...}
+_HELP_CHOICES = re.compile(r"\{([a-z0-9_,-]+)\}")
+
+
+def iter_doc_files() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [path for path in docs if path.exists()]
+
+
+def check_links(doc_files: list[Path]) -> list[str]:
+    """Broken relative links, as human-readable problem strings."""
+    problems = []
+    for doc in doc_files:
+        for line_no, line in enumerate(doc.read_text().splitlines(), 1):
+            for target in _LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    rel = doc.relative_to(REPO_ROOT)
+                    problems.append(
+                        f"{rel}:{line_no}: broken link -> {target}")
+    return problems
+
+
+def documented_subcommands(readme: Path) -> list[str]:
+    """Subcommands named in the README's CLI table, in table order."""
+    subs = []
+    for line in readme.read_text().splitlines():
+        match = _CLI_ROW.match(line.strip())
+        if match:
+            token = match.group(1).split()[0]
+            if token not in subs:
+                subs.append(token)
+    return subs
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120, env=env,
+        cwd=REPO_ROOT)
+
+
+def check_cli_table(readme: Path) -> list[str]:
+    """CLI-table staleness and --help failures, as problem strings."""
+    documented = documented_subcommands(readme)
+    if not documented:
+        return [f"{readme.name}: no CLI table rows found "
+                "(expected lines like '| `models` | ... |')"]
+    problems = []
+    top = run_cli("--help")
+    if top.returncode != 0:
+        return [f"python -m repro --help failed:\n{top.stderr[-500:]}"]
+    match = _HELP_CHOICES.search(top.stdout)
+    actual = set(match.group(1).split(",")) if match else set()
+    for missing in sorted(actual - set(documented)):
+        problems.append(
+            f"README CLI table is missing subcommand {missing!r}")
+    for stale in sorted(set(documented) - actual):
+        problems.append(
+            f"README CLI table documents unknown subcommand {stale!r}")
+    for sub in documented:
+        if sub not in actual:
+            continue  # already reported as stale
+        result = run_cli(sub, "--help")
+        if result.returncode != 0:
+            problems.append(
+                f"python -m repro {sub} --help failed:\n"
+                f"{result.stderr[-500:]}")
+    return problems
+
+
+def main() -> int:
+    doc_files = iter_doc_files()
+    if not doc_files:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    problems = check_links(doc_files)
+    problems += check_cli_table(REPO_ROOT / "README.md")
+    if problems:
+        for problem in problems:
+            print(f"check_docs: {problem}", file=sys.stderr)
+        return 1
+    names = ", ".join(str(p.relative_to(REPO_ROOT)) for p in doc_files)
+    print(f"check_docs: OK ({names}; "
+          f"{len(documented_subcommands(REPO_ROOT / 'README.md'))} "
+          "CLI subcommands exercised)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
