@@ -8,6 +8,7 @@ Usage:
     python -m repro simulate ResNet-50         # one-model comparison
     python -m repro design-space --heights 64  # PE-geometry sweep
     python -m repro scaling --chips 1 2 4 8    # multi-chip scaling
+    python -m repro serve --trace-jobs 200     # fleet serving simulator
 """
 
 from __future__ import annotations
@@ -113,6 +114,30 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments import serve
+    from repro.experiments.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        rows = serve.run(
+            policies=tuple(args.policy) if args.policy else None,
+            trace_jobs=args.trace_jobs,
+            seed=args.seed,
+            chips=args.chips,
+            chips_per_cluster=args.chips_per_cluster,
+            topology=args.topology,
+            epsilon_budget=args.epsilon_budget,
+            delta=args.delta,
+            cache=cache,
+        )
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    print(serve.render(rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DiVa (MICRO 2022) reproduction")
@@ -179,6 +204,41 @@ def main(argv: list[str] | None = None) -> int:
     scal.add_argument("--cache-dir", default=None,
                       help="persist results as JSON under this "
                            "directory, keyed by config hash")
+    # Policy choices are inlined (not imported from repro.serve) so
+    # building the parser never imports the serving stack.
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant DP-training fleet simulator with "
+             "privacy-budget admission control")
+    serve.add_argument("--trace-jobs", type=int, default=60,
+                       metavar="N",
+                       help="synthetic trace length (default: 60)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="trace generator seed (default: 7)")
+    serve.add_argument("--chips", type=int, default=4,
+                       help="total accelerators in the fleet "
+                            "(default: 4)")
+    serve.add_argument("--chips-per-cluster", type=int, default=1,
+                       metavar="N",
+                       help="chips per job-granularity cluster; must "
+                            "divide --chips (default: 1)")
+    serve.add_argument("--policy", nargs="+", default=None,
+                       choices=["fifo", "sjf", "budget"],
+                       metavar="POLICY",
+                       help="scheduling policies to compare: fifo, "
+                            "sjf, budget (default: all three)")
+    serve.add_argument("--topology", choices=["ring", "all_to_all"],
+                       default="ring",
+                       help="intra-cluster interconnect topology")
+    serve.add_argument("--epsilon-budget", type=float, default=3.0,
+                       metavar="EPS",
+                       help="per-tenant lifetime epsilon budget "
+                            "(default: 3.0)")
+    serve.add_argument("--delta", type=float, default=1e-5,
+                       help="per-tenant delta (default: 1e-5)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist per-config step latencies as "
+                            "JSON under this directory")
     args = parser.parse_args(argv)
     handlers = {
         "models": _cmd_models,
@@ -187,6 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "design-space": _cmd_design_space,
         "scaling": _cmd_scaling,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

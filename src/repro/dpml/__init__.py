@@ -4,6 +4,8 @@ from repro.dpml.accountant import (
     DEFAULT_ORDERS,
     RdpAccountant,
     compute_rdp,
+    epsilon_for_steps,
+    max_steps_for_budget,
     noise_multiplier_for_epsilon,
     rdp_sampled_gaussian,
     rdp_to_epsilon,
@@ -69,6 +71,8 @@ __all__ = [
     "compute_rdp",
     "rdp_sampled_gaussian",
     "rdp_to_epsilon",
+    "epsilon_for_steps",
+    "max_steps_for_budget",
     "noise_multiplier_for_epsilon",
     "DEFAULT_ORDERS",
     "Dataset",

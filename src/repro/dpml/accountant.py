@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 from scipy import special
@@ -57,14 +58,26 @@ def rdp_sampled_gaussian(q: float, sigma: float, order: int) -> float:
     return float(special.logsumexp(log_terms)) / (order - 1)
 
 
+@lru_cache(maxsize=512)
+def _single_step_rdp(q: float, sigma: float,
+                     orders: tuple[int, ...]) -> tuple[float, ...]:
+    """One step's RDP curve, memoized per ``(q, sigma, orders)``.
+
+    The curve is the expensive part of accounting (~66 orders with up
+    to ``order + 1`` logsumexp terms each) and admission control /
+    budget searches evaluate it for the same handful of mechanism
+    parameters over and over.  Returned as a tuple so cache hits can
+    never alias a mutable array.
+    """
+    return tuple(rdp_sampled_gaussian(q, sigma, order) for order in orders)
+
+
 def compute_rdp(q: float, sigma: float, steps: int,
                 orders: tuple[int, ...] = DEFAULT_ORDERS) -> np.ndarray:
     """RDP of ``steps`` composed subsampled-Gaussian mechanisms."""
     if steps < 0:
         raise ValueError("steps must be non-negative")
-    return np.array(
-        [steps * rdp_sampled_gaussian(q, sigma, order) for order in orders]
-    )
+    return steps * np.array(_single_step_rdp(q, sigma, tuple(orders)))
 
 
 def rdp_to_epsilon(orders: tuple[int, ...], rdp: np.ndarray,
@@ -127,6 +140,91 @@ class RdpAccountant:
     def privacy_spent(self, delta: float) -> tuple[float, float]:
         """The ``(epsilon, delta)`` pair reported by Algorithm 1."""
         return self.epsilon(delta), delta
+
+    def max_steps_for_budget(self, target_epsilon: float, delta: float,
+                             max_steps: int = 1_000_000) -> int:
+        """How many *more* steps fit inside ``(target_epsilon, delta)``.
+
+        Accounts for the steps already recorded: the returned count is
+        the remaining affordable budget, not the total from scratch.
+        See :func:`max_steps_for_budget` for the search itself.
+        """
+        return max_steps_for_budget(
+            self.sampling_rate, self.noise_multiplier, target_epsilon,
+            delta, orders=self.orders, base_rdp=self._rdp,
+            max_steps=max_steps)
+
+
+def epsilon_for_steps(q: float, sigma: float, steps: int, delta: float,
+                      orders: tuple[int, ...] = DEFAULT_ORDERS) -> float:
+    """``epsilon`` after ``steps`` subsampled-Gaussian iterations.
+
+    Zero steps spend zero budget (matching
+    :meth:`RdpAccountant.epsilon`, which special-cases the fresh
+    accountant rather than reporting the RDP conversion's
+    ``log(1/delta) / (alpha - 1)`` floor).
+    """
+    if steps == 0:
+        return 0.0
+    rdp = compute_rdp(q, sigma, steps, orders)
+    return rdp_to_epsilon(orders, rdp, delta)[0]
+
+
+def max_steps_for_budget(
+    q: float,
+    sigma: float,
+    target_epsilon: float,
+    delta: float,
+    *,
+    orders: tuple[int, ...] = DEFAULT_ORDERS,
+    base_rdp: np.ndarray | None = None,
+    max_steps: int = 1_000_000,
+) -> int:
+    """Largest step count whose ``epsilon`` stays within a budget.
+
+    Binary search over the step axis: ``epsilon`` is nondecreasing in
+    steps (RDP composes additively and the conversion is monotone), so
+    the answer is the unique crossover.  Returns ``max_steps`` when
+    even that many steps fit the budget (``q == 0`` never spends
+    anything) and ``0`` when a single step already overshoots
+    (``sigma <= 0`` has infinite per-step cost).
+
+    ``base_rdp`` is an already-spent RDP curve over ``orders`` (e.g.
+    from previous jobs of the same tenant): the search then returns
+    the *additional* affordable steps.  This is what
+    :meth:`RdpAccountant.max_steps_for_budget` and the serving layer's
+    admission control use.
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target epsilon must be positive")
+    if max_steps < 0:
+        raise ValueError("max_steps must be non-negative")
+    per_step = compute_rdp(q, sigma, 1, orders)
+    base = (np.zeros(len(orders)) if base_rdp is None
+            else np.asarray(base_rdp, dtype=float))
+    if base.shape != (len(orders),):
+        raise ValueError("base_rdp must align with orders")
+
+    def eps(steps: int) -> float:
+        # `steps == 0` must not touch per_step: 0 * inf (sigma <= 0)
+        # would poison the curve with NaNs.
+        rdp = base if steps == 0 else base + steps * per_step
+        if not np.any(rdp):
+            return 0.0
+        return rdp_to_epsilon(orders, rdp, delta)[0]
+
+    if eps(0) > target_epsilon:
+        return 0
+    if eps(max_steps) <= target_epsilon:
+        return max_steps
+    low, high = 0, max_steps  # eps(low) <= target < eps(high)
+    while high - low > 1:
+        mid = (low + high) // 2
+        if eps(mid) <= target_epsilon:
+            low = mid
+        else:
+            high = mid
+    return low
 
 
 def noise_multiplier_for_epsilon(

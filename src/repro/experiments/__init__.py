@@ -18,6 +18,7 @@ Module              Reproduces
 ``ppu_traffic``     Section I/IV-C (99% traffic reduction)
 ``design_space``    Beyond the paper: PE-array geometry sweep
 ``scaling``         Beyond the paper: multi-chip DP-SGD scaling
+``serve``           Beyond the paper: multi-tenant fleet serving
 ==================  ==========================================
 
 Each module exposes ``run()`` returning structured results and
@@ -40,6 +41,7 @@ from repro.experiments import (
     ppu_traffic,
     scaling,
     sensitivity,
+    serve,
     table1_bandwidth,
     table3_area_power,
 )
@@ -62,6 +64,7 @@ ALL_EXPERIMENTS = {
     "gemm_sweep": gemm_sweep,
     "design_space": design_space,
     "scaling": scaling,
+    "serve": serve,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

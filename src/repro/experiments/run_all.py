@@ -5,7 +5,7 @@ Run:
 
 Prints the text rendering of every experiment — the paper figures and
 tables in paper order, then the beyond-the-paper studies (multi-chip
-scaling).
+scaling, fleet serving).
 Each experiment renders in its own worker process (see
 :mod:`repro.experiments.runner`); output order stays deterministic
 because results are collected and printed in paper order.  This is the
@@ -22,7 +22,7 @@ from repro.experiments import ALL_EXPERIMENTS, runner
 
 _ORDER = ("maxbatch", "fig04", "fig05", "fig07", "table1", "fig13",
           "fig14", "fig15", "fig16", "table3", "fig17", "sensitivity",
-          "ppu_traffic", "scaling")
+          "ppu_traffic", "scaling", "serve")
 
 
 def _render_one(key: str) -> tuple[str, float, str]:

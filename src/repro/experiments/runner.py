@@ -187,7 +187,16 @@ class ResultCache:
         return payload.get("value") if isinstance(payload, dict) else None
 
     def put(self, key_hash: str, key: Any, value: Any) -> None:
-        """Atomically persist ``value`` (and its key, for debuggability)."""
+        """Atomically persist ``value`` (and its key, for debuggability).
+
+        Concurrent sweep workers (and the serving scheduler's cached
+        step-latency lookups) may hammer the same entry: the payload is
+        written to a private temp file *in the cache directory* (same
+        filesystem, so the rename cannot degrade to copy+delete),
+        flushed and fsynced, then published with ``os.replace`` — a
+        reader can observe the old entry or the new one, never torn
+        JSON.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": _jsonable(key), "value": value},
                              indent=2, sort_keys=True)
@@ -195,6 +204,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self.path(key_hash))
         except BaseException:
             try:

@@ -1,0 +1,55 @@
+"""Multi-tenant DP-training fleet simulator with budget admission.
+
+The serving layer on top of ``arch`` / ``training`` / ``dpml`` /
+``experiments``: synthetic job traces (:mod:`repro.serve.job`),
+per-tenant ``(epsilon, delta)`` admission control
+(:mod:`repro.serve.budget`), a discrete-event scheduler over a pool of
+clusters (:mod:`repro.serve.scheduler`) and fleet-level metrics
+(:mod:`repro.serve.metrics`).  See ``docs/serving.md``.
+"""
+
+from repro.serve.budget import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatus,
+    TenantBudget,
+)
+from repro.serve.job import (
+    JOB_ALGORITHMS,
+    TraceConfig,
+    TrainingJob,
+    generate_trace,
+)
+from repro.serve.metrics import (
+    FleetReport,
+    TenantUsage,
+    build_report,
+    percentile,
+)
+from repro.serve.scheduler import (
+    POLICIES,
+    FleetConfig,
+    JobRecord,
+    predict_step_seconds,
+    simulate_fleet,
+)
+
+__all__ = [
+    "JOB_ALGORITHMS",
+    "TrainingJob",
+    "TraceConfig",
+    "generate_trace",
+    "TenantBudget",
+    "AdmissionStatus",
+    "AdmissionDecision",
+    "AdmissionController",
+    "POLICIES",
+    "FleetConfig",
+    "JobRecord",
+    "predict_step_seconds",
+    "simulate_fleet",
+    "FleetReport",
+    "TenantUsage",
+    "build_report",
+    "percentile",
+]

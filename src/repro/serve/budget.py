@@ -1,0 +1,184 @@
+"""Per-tenant privacy-budget admission control.
+
+Every tenant owns an ``(epsilon, delta)`` budget in the sense of Abadi
+et al.'s moments accounting: each admitted job appends
+``steps x RDP(q, sigma)`` to the tenant's cumulative RDP curve, and a
+job is only admitted if the curve's ``(epsilon, delta)`` conversion
+stays inside the budget *after* the job runs.  Because jobs of one
+tenant may mix sampling rates and noise multipliers, the ledger
+composes raw RDP curves (which add across heterogeneous mechanisms)
+rather than reusing a fixed-``(q, sigma)``
+:class:`~repro.dpml.accountant.RdpAccountant`.
+
+Decisions are made at *arrival* and the budget is reserved
+immediately, so two queued jobs of one tenant can never jointly
+overspend no matter which scheduling policy later runs them first.
+A job that does not fit in full is truncated to the largest affordable
+step count (:func:`repro.dpml.accountant.max_steps_for_budget`) when
+truncation is allowed, and rejected outright otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpml.accountant import (
+    DEFAULT_ORDERS,
+    compute_rdp,
+    max_steps_for_budget,
+    rdp_to_epsilon,
+)
+from repro.serve.job import TrainingJob
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """One tenant's lifetime ``(epsilon, delta)`` allowance."""
+
+    epsilon: float
+    delta: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(
+                f"budget epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(
+                f"budget delta must be in (0, 1), got {self.delta}")
+
+
+class AdmissionStatus(enum.Enum):
+    """Outcome of one admission decision."""
+
+    ADMITTED = "admitted"
+    TRUNCATED = "truncated"
+    REJECTED = "rejected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What the controller granted, and what it cost.
+
+    ``granted_steps`` is ``job.steps`` for a full admit, the truncated
+    count for a partial one, and 0 for a rejection.  ``epsilon_after``
+    is the tenant's cumulative spend once the grant is reserved.
+    """
+
+    status: AdmissionStatus
+    granted_steps: int
+    epsilon_cost: float
+    epsilon_after: float
+
+    @property
+    def admitted(self) -> bool:
+        return self.status is not AdmissionStatus.REJECTED
+
+
+class AdmissionController:
+    """RDP ledger + admit/truncate/reject gate over a stream of jobs.
+
+    Parameters
+    ----------
+    budget:
+        Either one :class:`TenantBudget` applied to every tenant, or a
+        mapping ``tenant -> TenantBudget`` (tenants absent from the
+        mapping fall back to ``default_budget``).
+    default_budget:
+        Fallback for tenants missing from a ``budget`` mapping.
+    allow_truncation:
+        When True (default), a job that does not fit in full is cut to
+        the largest affordable step count instead of rejected.
+    orders:
+        RDP orders the ledger composes over.
+    """
+
+    def __init__(
+        self,
+        budget: TenantBudget | Mapping[str, TenantBudget] | None = None,
+        *,
+        default_budget: TenantBudget | None = None,
+        allow_truncation: bool = True,
+        orders: tuple[int, ...] = DEFAULT_ORDERS,
+    ) -> None:
+        if budget is None:
+            budget = TenantBudget(epsilon=3.0)
+        if isinstance(budget, TenantBudget):
+            self._default = budget
+            self._overrides: dict[str, TenantBudget] = {}
+        else:
+            self._default = default_budget or TenantBudget(epsilon=3.0)
+            self._overrides = dict(budget)
+        self.allow_truncation = allow_truncation
+        self.orders = orders
+        self._rdp: dict[str, np.ndarray] = {}
+        self._counts: dict[str, dict[str, int]] = {}
+
+    def budget_for(self, tenant: str) -> TenantBudget:
+        return self._overrides.get(tenant, self._default)
+
+    def epsilon_spent(self, tenant: str) -> float:
+        """Tenant's cumulative ``epsilon`` at its own ``delta``."""
+        rdp = self._rdp.get(tenant)
+        if rdp is None or not np.any(rdp):
+            return 0.0
+        return rdp_to_epsilon(self.orders, rdp,
+                              self.budget_for(tenant).delta)[0]
+
+    def remaining_fraction(self, tenant: str) -> float:
+        """Unspent share of the tenant's epsilon budget, in [0, 1]."""
+        budget = self.budget_for(tenant)
+        return max(0.0, 1.0 - self.epsilon_spent(tenant) / budget.epsilon)
+
+    def seen_tenants(self) -> tuple[str, ...]:
+        """Tenants that submitted at least one job, in first-seen order."""
+        return tuple(self._counts)
+
+    def counts(self, tenant: str) -> dict[str, int]:
+        """``{admitted, truncated, rejected}`` tallies for ``tenant``."""
+        return dict(self._counts.get(
+            tenant, {"admitted": 0, "truncated": 0, "rejected": 0}))
+
+    def admit(self, job: TrainingJob) -> AdmissionDecision:
+        """Decide on ``job`` and reserve any granted budget."""
+        tally = self._counts.setdefault(
+            job.tenant, {"admitted": 0, "truncated": 0, "rejected": 0})
+        base = self._rdp.get(job.tenant)
+        if not job.is_private:
+            # Non-private jobs never touch the ledger.
+            tally["admitted"] += 1
+            spent = self.epsilon_spent(job.tenant)
+            return AdmissionDecision(
+                AdmissionStatus.ADMITTED, job.steps, 0.0, spent)
+
+        budget = self.budget_for(job.tenant)
+        spent_before = self.epsilon_spent(job.tenant)
+        affordable = max_steps_for_budget(
+            job.sampling_rate, job.noise_multiplier, budget.epsilon,
+            budget.delta, orders=self.orders, base_rdp=base,
+            max_steps=job.steps)
+        if affordable >= job.steps:
+            status, granted = AdmissionStatus.ADMITTED, job.steps
+        elif self.allow_truncation and affordable >= 1:
+            status, granted = AdmissionStatus.TRUNCATED, affordable
+        else:
+            tally["rejected"] += 1
+            return AdmissionDecision(
+                AdmissionStatus.REJECTED, 0, 0.0, spent_before)
+
+        per_step = compute_rdp(job.sampling_rate, job.noise_multiplier,
+                               1, self.orders)
+        if base is None:
+            base = np.zeros(len(self.orders))
+        self._rdp[job.tenant] = base + granted * per_step
+        spent_after = self.epsilon_spent(job.tenant)
+        tally["admitted" if status is AdmissionStatus.ADMITTED
+              else "truncated"] += 1
+        return AdmissionDecision(
+            status, granted, spent_after - spent_before, spent_after)

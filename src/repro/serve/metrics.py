@@ -1,0 +1,183 @@
+"""Fleet-level serving metrics: latency percentiles, utilization, budgets.
+
+The scheduler hands this module its finished per-job records plus the
+admission controller, and gets back a :class:`FleetReport` — the
+JSON-serializable summary the ``serve`` experiment renders: throughput,
+queueing-latency percentiles, chip utilization, admission tallies, and
+the per-tenant epsilon spend against its configured budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.experiments.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.budget import AdmissionController
+    from repro.serve.scheduler import JobRecord
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    rank = max(1, -(-len(data) * pct // 100))  # ceil without float drift
+    return float(data[int(rank) - 1])
+
+
+@dataclass(frozen=True)
+class TenantUsage:
+    """One tenant's budget position at the end of the simulation."""
+
+    tenant: str
+    budget_epsilon: float
+    delta: float
+    epsilon_spent: float
+    admitted: int
+    truncated: int
+    rejected: int
+
+    @property
+    def within_budget(self) -> bool:
+        return self.epsilon_spent <= self.budget_epsilon
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "budget_epsilon": self.budget_epsilon,
+            "delta": self.delta,
+            "epsilon_spent": self.epsilon_spent,
+            "admitted": self.admitted,
+            "truncated": self.truncated,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of one fleet simulation."""
+
+    policy: str
+    chips: int
+    n_clusters: int
+    chips_per_cluster: int
+    submitted: int
+    completed: int
+    truncated: int
+    rejected: int
+    makespan_s: float
+    throughput_jobs_per_h: float
+    utilization: float
+    wait_p50_s: float
+    wait_p95_s: float
+    wait_p99_s: float
+    tenants: tuple[TenantUsage, ...]
+    records: tuple = ()
+
+    def tenant(self, name: str) -> TenantUsage:
+        for usage in self.tenants:
+            if usage.tenant == name:
+                return usage
+        raise KeyError(f"unknown tenant {name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (per-job records excluded)."""
+        return {
+            "policy": self.policy,
+            "chips": self.chips,
+            "n_clusters": self.n_clusters,
+            "chips_per_cluster": self.chips_per_cluster,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "truncated": self.truncated,
+            "rejected": self.rejected,
+            "makespan_s": self.makespan_s,
+            "throughput_jobs_per_h": self.throughput_jobs_per_h,
+            "utilization": self.utilization,
+            "wait_p50_s": self.wait_p50_s,
+            "wait_p95_s": self.wait_p95_s,
+            "wait_p99_s": self.wait_p99_s,
+            "tenants": [usage.to_dict() for usage in self.tenants],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary + per-tenant budget table."""
+        lines = [
+            f"Fleet: {self.chips} chips as {self.n_clusters} x "
+            f"{self.chips_per_cluster}-chip clusters, policy={self.policy}",
+            f"Jobs: {self.submitted} submitted, {self.completed} completed "
+            f"({self.truncated} truncated), {self.rejected} rejected",
+            f"Makespan {self.makespan_s:.0f} s, "
+            f"{self.throughput_jobs_per_h:.1f} jobs/h, "
+            f"chip utilization {self.utilization * 100:.1f}%",
+            f"Queueing wait p50/p95/p99: {self.wait_p50_s:.1f} / "
+            f"{self.wait_p95_s:.1f} / {self.wait_p99_s:.1f} s",
+            "",
+            render_tenant_table(self.tenants),
+        ]
+        return "\n".join(lines)
+
+
+def render_tenant_table(tenants: Sequence[TenantUsage]) -> str:
+    rows = [
+        [usage.tenant, usage.budget_epsilon, usage.epsilon_spent,
+         f"{usage.epsilon_spent / usage.budget_epsilon * 100:.0f}%",
+         usage.admitted, usage.truncated, usage.rejected]
+        for usage in tenants
+    ]
+    return format_table(
+        ["Tenant", "Budget eps", "Spent eps", "Used", "Admitted",
+         "Truncated", "Rejected"],
+        rows, title="Per-tenant privacy budget")
+
+
+def build_report(
+    policy: str,
+    chips: int,
+    n_clusters: int,
+    chips_per_cluster: int,
+    records: "Sequence[JobRecord]",
+    admission: "AdmissionController",
+) -> FleetReport:
+    """Fold finished job records + the budget ledger into a report."""
+    finished = [r for r in records if r.finish_s is not None]
+    waits = [r.wait_s for r in finished]
+    makespan = max((r.finish_s for r in finished), default=0.0)
+    busy = sum(r.service_s for r in finished)
+    utilization = (busy / (n_clusters * makespan)) if makespan > 0 else 0.0
+    throughput = (len(finished) / makespan * 3600.0) if makespan > 0 else 0.0
+    tenants = tuple(
+        TenantUsage(
+            tenant=name,
+            budget_epsilon=admission.budget_for(name).epsilon,
+            delta=admission.budget_for(name).delta,
+            epsilon_spent=admission.epsilon_spent(name),
+            **admission.counts(name),
+        )
+        for name in sorted(admission.seen_tenants())
+    )
+    return FleetReport(
+        policy=policy,
+        chips=chips,
+        n_clusters=n_clusters,
+        chips_per_cluster=chips_per_cluster,
+        submitted=len(records),
+        completed=len(finished),
+        truncated=sum(
+            1 for r in finished
+            if r.decision.granted_steps < r.job.steps),
+        rejected=sum(1 for r in records if not r.decision.admitted),
+        makespan_s=makespan,
+        throughput_jobs_per_h=throughput,
+        utilization=utilization,
+        wait_p50_s=percentile(waits, 50),
+        wait_p95_s=percentile(waits, 95),
+        wait_p99_s=percentile(waits, 99),
+        tenants=tenants,
+        records=tuple(records),
+    )

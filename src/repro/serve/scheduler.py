@@ -1,0 +1,220 @@
+"""Discrete-event fleet scheduler for multi-tenant DP training.
+
+:func:`simulate_fleet` replays a job trace against a pool of identical
+:class:`~repro.arch.cluster.Cluster`\\ s:
+
+1. **Arrival** — the admission controller prices the job against its
+   tenant's ``(epsilon, delta)`` budget (reject / truncate / admit) and
+   reserves the grant immediately.
+2. **Dispatch** — whenever a cluster is idle and jobs are queued, the
+   scheduling policy picks the next job.  Service time is
+   ``granted_steps x step latency``, where the step latency comes from
+   :func:`repro.training.simulate.simulate_sharded_training_step` via
+   the closed-form cycle engine — memoized in-process and optionally
+   persisted through :func:`repro.experiments.runner.run_cached`,
+   since traces repeat workload configurations.
+3. **Completion** — the cluster frees and the dispatch loop runs again.
+
+Scheduling policies (:data:`POLICIES`):
+
+``fifo``
+    Arrival order.
+``sjf``
+    Shortest predicted service time first (the closed-form engine
+    makes the prediction exact, so this is true SJF, not an estimate).
+``budget``
+    Tenants with the largest *remaining* budget fraction first — an
+    incentive policy: tenants who have nearly exhausted their epsilon
+    wait behind those still holding budget.
+
+All ties break on ``(arrival, job_id)``, so a simulation is fully
+deterministic given a trace and a policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from repro.experiments import runner
+from repro.serve.budget import AdmissionController, AdmissionDecision
+from repro.serve.job import TrainingJob
+from repro.serve.metrics import FleetReport, build_report
+
+#: Scheduling policies simulate_fleet understands.
+POLICIES = ("fifo", "sjf", "budget")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the serving fleet.
+
+    ``chips`` total accelerators, grouped into
+    ``chips / chips_per_cluster`` identical clusters; each job occupies
+    one whole cluster for its lifetime (DP-SGD steps are synchronous,
+    so fractional clusters would serialize anyway).
+    """
+
+    chips: int = 4
+    chips_per_cluster: int = 1
+    kind: str = "diva"
+    topology: str = "ring"
+
+    def __post_init__(self) -> None:
+        if self.chips < 1:
+            raise ValueError(f"chips must be >= 1, got {self.chips}")
+        if self.chips_per_cluster < 1:
+            raise ValueError(
+                f"chips_per_cluster must be >= 1, got "
+                f"{self.chips_per_cluster}")
+        if self.chips % self.chips_per_cluster:
+            raise ValueError(
+                f"{self.chips} chips do not group into clusters of "
+                f"{self.chips_per_cluster}")
+
+    @property
+    def n_clusters(self) -> int:
+        return self.chips // self.chips_per_cluster
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one job through the fleet."""
+
+    job: TrainingJob
+    decision: AdmissionDecision
+    service_s: float = 0.0
+    start_s: float | None = None
+    finish_s: float | None = None
+    cluster_index: int | None = None
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay between arrival and dispatch."""
+        if self.start_s is None:
+            return 0.0
+        return self.start_s - self.job.arrival_s
+
+
+@lru_cache(maxsize=4096)
+def _step_seconds(kind: str, chips_per_cluster: int, topology: str,
+                  model: str, algorithm: str, batch: int) -> float:
+    """One sharded training step's latency, closed-form."""
+    from repro.arch.interconnect import InterconnectConfig
+    from repro.core import build_cluster
+    from repro.training import Algorithm, simulate_sharded_training_step
+    from repro.workloads import build_model
+
+    cluster = build_cluster(
+        kind, n_chips=chips_per_cluster,
+        interconnect=InterconnectConfig(topology=topology))
+    report = simulate_sharded_training_step(
+        build_model(model), Algorithm(algorithm), cluster, batch)
+    return report.total_seconds
+
+
+def predict_step_seconds(
+    fleet: FleetConfig,
+    job: TrainingJob,
+    cache: "runner.ResultCache | None" = None,
+) -> float:
+    """Step latency for ``job`` on one of ``fleet``'s clusters.
+
+    The batch is rounded up to the nearest multiple of the cluster
+    width so the data-parallel shard divides evenly.  Results are
+    memoized in-process (traces repeat configurations) and optionally
+    persisted through the experiment runner's JSON cache.
+    """
+    batch = math.ceil(job.batch / fleet.chips_per_cluster) \
+        * fleet.chips_per_cluster
+    key = {"experiment": "serve-step", "kind": fleet.kind,
+           "chips_per_cluster": fleet.chips_per_cluster,
+           "topology": fleet.topology, "model": job.model,
+           "algorithm": job.algorithm, "batch": batch}
+    return runner.run_cached(
+        key,
+        lambda: _step_seconds(fleet.kind, fleet.chips_per_cluster,
+                              fleet.topology, job.model, job.algorithm,
+                              batch),
+        cache=cache)
+
+
+def _policy_key(policy: str, admission: AdmissionController):
+    """Dispatch-priority key function; lower sorts first."""
+    if policy == "fifo":
+        return lambda rec: (rec.job.arrival_s, rec.job.job_id)
+    if policy == "sjf":
+        return lambda rec: (rec.service_s, rec.job.arrival_s,
+                            rec.job.job_id)
+    if policy == "budget":
+        # remaining_fraction is read at dispatch time: each grant a
+        # tenant burns pushes its queued jobs further back.
+        return lambda rec: (-admission.remaining_fraction(rec.job.tenant),
+                            rec.job.arrival_s, rec.job.job_id)
+    raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+
+
+def simulate_fleet(
+    trace: Sequence[TrainingJob],
+    fleet: FleetConfig = FleetConfig(),
+    *,
+    policy: str = "fifo",
+    admission: AdmissionController | None = None,
+    cache: "runner.ResultCache | None" = None,
+) -> FleetReport:
+    """Replay ``trace`` on ``fleet`` under ``policy`` and report.
+
+    Deterministic: the same trace, fleet, policy and admission
+    configuration always produce the identical report.
+    """
+    if admission is None:
+        admission = AdmissionController()
+    select_key = _policy_key(policy, admission)
+
+    # Event heap: (time, seq, kind, payload).  seq makes simultaneous
+    # events deterministic; payloads are never compared.
+    events: list[tuple[float, int, str, JobRecord | TrainingJob]] = []
+    seq = 0
+    for job in sorted(trace, key=lambda j: (j.arrival_s, j.job_id)):
+        heapq.heappush(events, (job.arrival_s, seq, "arrival", job))
+        seq += 1
+
+    idle: list[int] = list(range(fleet.n_clusters))
+    heapq.heapify(idle)
+    queue: list[JobRecord] = []
+    records: list[JobRecord] = []
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "arrival":
+            job = payload
+            decision = admission.admit(job)
+            record = JobRecord(job=job, decision=decision)
+            records.append(record)
+            if decision.admitted:
+                record.service_s = decision.granted_steps * \
+                    predict_step_seconds(fleet, job, cache=cache)
+                queue.append(record)
+        else:  # completion
+            record = payload
+            heapq.heappush(idle, record.cluster_index)
+        while idle and queue:
+            nxt = min(queue, key=select_key)
+            queue.remove(nxt)
+            nxt.cluster_index = heapq.heappop(idle)
+            nxt.start_s = now
+            nxt.finish_s = now + nxt.service_s
+            heapq.heappush(events, (nxt.finish_s, seq, "completion", nxt))
+            seq += 1
+
+    return build_report(
+        policy=policy,
+        chips=fleet.chips,
+        n_clusters=fleet.n_clusters,
+        chips_per_cluster=fleet.chips_per_cluster,
+        records=records,
+        admission=admission,
+    )

@@ -50,6 +50,19 @@ class TestCli:
                          "--models", "SqueezeNet", "--batch", "100"]) == 2
         assert "divide" in capsys.readouterr().err
 
+    def test_serve(self, capsys):
+        assert cli_main(["serve", "--trace-jobs", "12",
+                         "--chips", "2", "--policy", "fifo"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet serving" in out
+        assert "tenant-0" in out
+        assert "Rejected" in out
+
+    def test_serve_rejects_bad_fleet_cleanly(self, capsys):
+        assert cli_main(["serve", "--chips", "4",
+                         "--chips-per-cluster", "3"]) == 2
+        assert "serve" in capsys.readouterr().err
+
 
 @pytest.mark.parametrize("script,arg", [
     ("quickstart.py", "SqueezeNet"),
@@ -57,6 +70,7 @@ class TestCli:
     ("accelerator_comparison.py", "SqueezeNet"),
     ("dp_training.py", None),
     ("multi_chip_scaling.py", "SqueezeNet"),
+    ("fleet_serving.py", "30"),
 ])
 def test_example_runs(script, arg):
     cmd = [sys.executable, str(EXAMPLES / script)]

@@ -34,11 +34,49 @@ def test_cli_table_matches_cli():
     assert problems == [], "\n".join(problems)
 
 
+def test_declared_subcommands_found_statically():
+    declared = check_docs.declared_subcommands(
+        REPO_ROOT / "src" / "repro" / "__main__.py")
+    assert "serve" in declared
+    assert "scaling" in declared
+    assert len(declared) == len(set(declared))
+
+
+def test_every_declared_subcommand_is_documented():
+    problems = check_docs.check_declared_subcommands(
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "src" / "repro" / "__main__.py")
+    assert problems == [], "\n".join(problems)
+
+
+def test_declared_check_flags_missing_row(tmp_path):
+    readme = tmp_path / "README.md"
+    readme.write_text("| `models` | list models |\n")
+    main_py = tmp_path / "__main__.py"
+    main_py.write_text('sub.add_parser("models")\n'
+                       'sub.add_parser("serve", help="x")\n')
+    problems = check_docs.check_declared_subcommands(readme, main_py)
+    assert len(problems) == 1
+    assert "serve" in problems[0]
+
+
+def test_declared_check_flags_unscannable_main(tmp_path):
+    readme = tmp_path / "README.md"
+    readme.write_text("| `models` | list models |\n")
+    main_py = tmp_path / "__main__.py"
+    main_py.write_text("print('no subparsers here')\n")
+    problems = check_docs.check_declared_subcommands(readme, main_py)
+    assert len(problems) == 1
+    assert "no add_parser" in problems[0]
+
+
 def test_main_aggregates_helper_problems(monkeypatch):
     # Wiring only — the helpers themselves are exercised above, so
     # don't repeat their subprocess fan-out here.
     monkeypatch.setattr(check_docs, "check_links", lambda docs: [])
     monkeypatch.setattr(check_docs, "check_cli_table", lambda readme: [])
+    monkeypatch.setattr(check_docs, "check_declared_subcommands",
+                        lambda readme, main_py: [])
     assert check_docs.main() == 0
     monkeypatch.setattr(check_docs, "check_cli_table",
                         lambda readme: ["stale row"])

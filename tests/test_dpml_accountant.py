@@ -11,6 +11,8 @@ from repro.dpml import (
     DEFAULT_ORDERS,
     RdpAccountant,
     compute_rdp,
+    epsilon_for_steps,
+    max_steps_for_budget,
     noise_multiplier_for_epsilon,
     rdp_sampled_gaussian,
     rdp_to_epsilon,
@@ -139,6 +141,91 @@ class TestAccountant:
     def test_negative_record_rejected(self):
         with pytest.raises(ValueError):
             RdpAccountant(0.01, 1.0).record_steps(-1)
+
+
+class TestEpsilonForSteps:
+    def test_zero_steps_spend_nothing(self):
+        assert epsilon_for_steps(0.01, 1.0, 0, 1e-5) == 0.0
+
+    def test_matches_direct_conversion(self):
+        direct = rdp_to_epsilon(DEFAULT_ORDERS,
+                                compute_rdp(0.02, 1.1, 300), 1e-5)[0]
+        assert epsilon_for_steps(0.02, 1.1, 300, 1e-5) == \
+            pytest.approx(direct)
+
+
+class TestMaxStepsForBudget:
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            max_steps_for_budget(0.01, 1.0, 0.0, 1e-5)
+
+    def test_q_zero_is_unbounded(self):
+        assert max_steps_for_budget(0.0, 1.0, 1.0, 1e-5,
+                                    max_steps=777) == 777
+
+    def test_sigma_zero_affords_nothing(self):
+        assert max_steps_for_budget(0.01, 0.0, 3.0, 1e-5) == 0
+
+    def test_cap_respected(self):
+        assert max_steps_for_budget(0.001, 4.0, 50.0, 1e-5,
+                                    max_steps=123) == 123
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.floats(0.002, 0.05), sigma=st.floats(0.8, 3.0),
+           target=st.floats(0.5, 8.0))
+    def test_inverse_consistent_with_epsilon_for_steps(
+            self, q, sigma, target):
+        """The crossover property: the returned step count fits the
+        budget and one more step would overshoot."""
+        delta = 1e-5
+        steps = max_steps_for_budget(q, sigma, target, delta,
+                                     max_steps=5000)
+        assert epsilon_for_steps(q, sigma, steps, delta) <= target
+        if steps < 5000:
+            assert epsilon_for_steps(q, sigma, steps + 1, delta) > target
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.floats(0.002, 0.05), sigma=st.floats(0.8, 2.5),
+           target=st.floats(0.5, 6.0))
+    def test_monotone_in_sigma(self, q, sigma, target):
+        """More noise buys at least as many steps."""
+        fewer = max_steps_for_budget(q, sigma, target, 1e-5,
+                                     max_steps=5000)
+        more = max_steps_for_budget(q, sigma * 1.5, target, 1e-5,
+                                    max_steps=5000)
+        assert more >= fewer
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.floats(0.002, 0.05), sigma=st.floats(0.8, 2.5),
+           target=st.floats(0.5, 4.0))
+    def test_monotone_in_target(self, q, sigma, target):
+        loose = max_steps_for_budget(q, sigma, 2.0 * target, 1e-5,
+                                     max_steps=5000)
+        tight = max_steps_for_budget(q, sigma, target, 1e-5,
+                                     max_steps=5000)
+        assert loose >= tight
+
+    def test_base_rdp_reduces_affordability(self):
+        fresh = max_steps_for_budget(0.01, 1.0, 3.0, 1e-5)
+        spent = compute_rdp(0.01, 1.0, 500)
+        remaining = max_steps_for_budget(0.01, 1.0, 3.0, 1e-5,
+                                         base_rdp=spent)
+        assert remaining <= fresh - 500 + 1  # linear composition
+        assert remaining < fresh
+
+    def test_base_rdp_shape_validated(self):
+        with pytest.raises(ValueError):
+            max_steps_for_budget(0.01, 1.0, 3.0, 1e-5,
+                                 base_rdp=np.zeros(3))
+
+    def test_accountant_method_tracks_recorded_steps(self):
+        target, delta = 3.0, 1e-5
+        acct = RdpAccountant(0.01, 1.0)
+        total = acct.max_steps_for_budget(target, delta)
+        assert total == max_steps_for_budget(0.01, 1.0, target, delta)
+        acct.record_steps(total)
+        assert acct.epsilon(delta) <= target
+        assert acct.max_steps_for_budget(target, delta) == 0
 
 
 class TestNoiseCalibration:

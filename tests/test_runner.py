@@ -142,6 +142,55 @@ class TestResultCache:
                                    key_fn=lambda x: x,
                                    cache=None, parallel=False) == [4, 9]
 
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        """Hammer one entry from many threads while reading it back:
+        every read must observe a complete payload (old or new), never
+        torn JSON, and no temp files may leak."""
+        import threading
+
+        cache = runner.ResultCache(tmp_path)
+        payloads = [[{"writer": w, "blob": "x" * 4096}] * 8
+                    for w in range(4)]
+        errors = []
+
+        def writer(payload):
+            for _ in range(25):
+                cache.put("contended", {"k": 1}, payload)
+
+        def reader():
+            # Parse the raw file directly: going through get() would
+            # mask a torn write as None and hide the very bug this
+            # test exists to catch.
+            path = cache.path("contended")
+            for _ in range(200):
+                try:
+                    payload = json.loads(path.read_text())
+                except FileNotFoundError:
+                    continue  # no write published yet
+                except json.JSONDecodeError as err:
+                    errors.append(f"torn JSON: {err}")
+                    continue
+                if payload["value"] not in payloads:
+                    errors.append(payload["value"])
+
+        threads = [threading.Thread(target=writer, args=(p,))
+                   for p in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.get("contended") in payloads
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_put_failure_leaves_no_temp_files(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.put("bad", {"k": 1}, object())  # not JSON-serializable
+        assert not list(tmp_path.glob("*.tmp"))
+        assert cache.get("bad") is None
+
     def test_default_cache_from_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         cache = runner.default_cache()

@@ -9,7 +9,11 @@ Checks, in order:
    file or directory that exists in the repository;
 2. the set of subcommands documented in the README's CLI table matches
    exactly the set ``python -m repro --help`` advertises;
-3. ``python -m repro --help`` and every documented subcommand's
+3. every subcommand *declared* in ``src/repro/__main__.py``
+   (``add_parser`` calls, found statically) appears in the README CLI
+   table — a belt-and-braces check that does not depend on parsing
+   argparse's ``--help`` output;
+4. ``python -m repro --help`` and every documented subcommand's
    ``--help`` exit cleanly.
 
 Exits nonzero (listing every problem) on any failure, so CI can gate
@@ -32,6 +36,8 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CLI_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 #: The subcommand set argparse prints: {models,experiments,...}
 _HELP_CHOICES = re.compile(r"\{([a-z0-9_,-]+)\}")
+#: Subparser declarations in __main__.py: sub.add_parser("name", ...)
+_ADD_PARSER = re.compile(r"""add_parser\(\s*["']([a-z0-9_-]+)["']""")
 
 
 def iter_doc_files() -> list[Path]:
@@ -66,6 +72,31 @@ def documented_subcommands(readme: Path) -> list[str]:
             if token not in subs:
                 subs.append(token)
     return subs
+
+
+def declared_subcommands(main_py: Path) -> list[str]:
+    """Subcommands ``__main__.py`` declares, in declaration order."""
+    return _ADD_PARSER.findall(main_py.read_text())
+
+
+def check_declared_subcommands(readme: Path, main_py: Path) -> list[str]:
+    """Declared-but-undocumented subcommands, as problem strings.
+
+    Statically scans ``__main__.py`` for ``add_parser`` calls and
+    requires each name in the README CLI table.  Unlike the
+    ``--help``-based check this cannot be fooled by argparse output
+    formatting, so a new subcommand can never land undocumented.
+    """
+    declared = declared_subcommands(main_py)
+    if not declared:
+        return [f"{main_py.name}: no add_parser declarations found "
+                "(check_docs cannot verify CLI coverage)"]
+    documented = set(documented_subcommands(readme))
+    return [
+        f"README CLI table is missing subcommand {name!r} "
+        f"declared in {main_py.name}"
+        for name in declared if name not in documented
+    ]
 
 
 def run_cli(*args: str) -> subprocess.CompletedProcess:
@@ -113,6 +144,9 @@ def main() -> int:
         print("check_docs: no documentation files found", file=sys.stderr)
         return 1
     problems = check_links(doc_files)
+    problems += check_declared_subcommands(
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "src" / "repro" / "__main__.py")
     problems += check_cli_table(REPO_ROOT / "README.md")
     if problems:
         for problem in problems:
