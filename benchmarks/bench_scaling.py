@@ -1,0 +1,86 @@
+"""Benchmark: multi-chip scaling smoke sweep + overlap model record.
+
+Runs a small chips x topology x overlap sweep through the cached
+experiment runner (in-process, serial) and persists both the modeled
+step times and the sweep wall-clock to ``BENCH_scaling.json`` at the
+repo root, so CI exercises the overlap-aware communication flags on
+every commit and tracks the closed-form sweep's throughput.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import scaling
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+
+#: One CNN keeps the sweep fast; the communication model is
+#: workload-agnostic beyond the payload size.
+MODEL = "SqueezeNet"
+CHIPS = (1, 2, 4, 8)
+BUCKET_BYTES = 2**20
+
+
+def _sweep(topology: str, chips_per_node: int, overlap: bool) -> list[dict]:
+    return scaling.run(
+        models=(MODEL,), chips=CHIPS, algorithms=("DP-SGD",),
+        topology=topology, chips_per_node=chips_per_node,
+        bucket_bytes=BUCKET_BYTES, overlap=overlap, jobs=1)
+
+
+def test_scaling_smoke_sweep(capsys):
+    """Sweep chips x topology x overlap; persist the record to JSON."""
+    configs = [
+        ("ring", 1, True),
+        ("ring", 1, False),
+        ("hierarchical", 2, True),
+        ("hierarchical", 2, False),
+    ]
+    start = time.perf_counter()
+    points = []
+    by_config: dict[tuple, list[dict]] = {}
+    for topology, cpn, overlap in configs:
+        rows = _sweep(topology, cpn, overlap)
+        assert len(rows) == len(CHIPS)
+        by_config[(topology, cpn, overlap)] = rows
+        for row in rows:
+            points.append({
+                "model": row["model"],
+                "chips": row["chips"],
+                "topology": row["topology"],
+                "chips_per_node": row["chips_per_node"],
+                "overlap": row["overlap"],
+                "bucket_mb": row["bucket_mb"],
+                "step_ms": row["step_ms"],
+                "comm_ms": row["comm_ms"],
+                "comm_total_ms": row["comm_total_ms"],
+            })
+    wall = time.perf_counter() - start
+
+    # The overlap model's core guarantee, exercised on every CI run:
+    # exposed communication never exceeds the serial charge, and the
+    # total wire time is schedule-invariant.
+    for topology, cpn, _ in configs:
+        for on, off in zip(by_config[(topology, cpn, True)],
+                           by_config[(topology, cpn, False)]):
+            assert on["chips"] == off["chips"]
+            assert on["comm_ms"] <= off["comm_ms"] + 1e-9
+            assert on["step_ms"] <= off["step_ms"] + 1e-9
+            assert on["comm_total_ms"] == off["comm_total_ms"]
+
+    payload = {
+        "benchmark": "scaling_smoke_sweep",
+        "model": MODEL,
+        "chips": list(CHIPS),
+        "bucket_bytes": BUCKET_BYTES,
+        "points": points,
+        "wall_seconds": wall,
+        "points_per_sec": len(points) / wall,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        print(f"\nscaling smoke sweep — {len(points)} points in "
+              f"{wall:.2f}s -> {BENCH_JSON.name}")
+    # Loose floor: the closed-form sweep should stay interactive.
+    assert wall < 60.0

@@ -104,6 +104,10 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             mode=args.mode,
             topology=args.topology,
             batch=args.batch,
+            overlap=args.overlap,
+            bucket_bytes=(int(args.bucket_mb * 2**20)
+                          if args.bucket_mb is not None else None),
+            chips_per_node=args.chips_per_node,
             jobs=args.jobs,
             cache=cache,
         )
@@ -127,6 +131,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             chips=args.chips,
             chips_per_cluster=args.chips_per_cluster,
             topology=args.topology,
+            chips_per_node=args.chips_per_node,
+            bucket_bytes=(int(args.bucket_mb * 2**20)
+                          if args.bucket_mb is not None else None),
+            overlap=args.overlap,
             epsilon_budget=args.epsilon_budget,
             delta=args.delta,
             cache=cache,
@@ -194,8 +202,23 @@ def main(argv: list[str] | None = None) -> int:
                       default="strong",
                       help="strong: fixed global batch; weak: fixed "
                            "per-chip batch")
-    scal.add_argument("--topology", choices=["ring", "all_to_all"],
+    scal.add_argument("--topology",
+                      choices=["ring", "all_to_all", "hierarchical"],
                       default="ring", help="interconnect topology")
+    scal.add_argument("--chips-per-node", type=int, default=1,
+                      metavar="K",
+                      help="island size of the hierarchical topology; "
+                           "must divide every chip count (default: 1)")
+    scal.add_argument("--bucket-mb", type=float, default=None,
+                      metavar="MB",
+                      help="gradient-bucket size in MiB for pipelined "
+                           "bucket allreduces (default: one monolithic "
+                           "bucket)")
+    scal.add_argument("--overlap", default=True,
+                      action=argparse.BooleanOptionalAction,
+                      help="hide bucketed gradient allreduces behind "
+                           "backward compute (--no-overlap charges "
+                           "serial communication)")
     scal.add_argument("--batch", type=int, default=None,
                       help="global batch at one chip (default: largest "
                            "feasible multiple of lcm(chips))")
@@ -227,9 +250,24 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="POLICY",
                        help="scheduling policies to compare: fifo, "
                             "sjf, budget (default: all three)")
-    serve.add_argument("--topology", choices=["ring", "all_to_all"],
+    serve.add_argument("--topology",
+                       choices=["ring", "all_to_all", "hierarchical"],
                        default="ring",
                        help="intra-cluster interconnect topology")
+    serve.add_argument("--chips-per-node", type=int, default=1,
+                       metavar="K",
+                       help="hierarchical-island size; must divide "
+                            "--chips-per-cluster (default: 1)")
+    serve.add_argument("--bucket-mb", type=float, default=None,
+                       metavar="MB",
+                       help="gradient-bucket size in MiB for the "
+                            "overlap-aware allreduce model (default: "
+                            "one monolithic bucket)")
+    serve.add_argument("--overlap", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="hide bucketed gradient allreduces behind "
+                            "backward compute in service-time "
+                            "predictions")
     serve.add_argument("--epsilon-budget", type=float, default=3.0,
                        metavar="EPS",
                        help="per-tenant lifetime epsilon budget "

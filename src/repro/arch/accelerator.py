@@ -29,8 +29,14 @@ if TYPE_CHECKING:  # avoid a circular import: core composes arch
 class OpRun:
     """Execution record of one operation (or an aggregate of many).
 
-    ``link_bytes`` is per-chip interconnect wire traffic — nonzero only
-    for collective operations charged by :class:`repro.arch.cluster.Cluster`.
+    ``cycles`` is always the *critical-path* (exposed) charge — what
+    aggregates into a report's total.  ``hidden_cycles`` records work
+    that ran but was overlapped behind other compute and therefore
+    excluded from ``cycles``; today only the bucketed-allreduce overlap
+    model of :func:`repro.training.simulate.simulate_sharded_training_step`
+    produces a nonzero value.  ``link_bytes`` is per-chip interconnect
+    wire traffic — nonzero only for collective operations charged by
+    :class:`repro.arch.cluster.Cluster`.
     """
 
     cycles: int = 0
@@ -44,11 +50,17 @@ class OpRun:
     sram_read_bytes: int = 0
     sram_write_bytes: int = 0
     link_bytes: int = 0
+    hidden_cycles: int = 0
 
     @property
     def dram_bytes(self) -> int:
         """Total off-chip traffic."""
         return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def busy_cycles(self) -> int:
+        """Exposed plus overlapped cycles — total time the op was live."""
+        return self.cycles + self.hidden_cycles
 
     def __add__(self, other: "OpRun") -> "OpRun":
         return OpRun(
@@ -63,6 +75,7 @@ class OpRun:
             sram_read_bytes=self.sram_read_bytes + other.sram_read_bytes,
             sram_write_bytes=self.sram_write_bytes + other.sram_write_bytes,
             link_bytes=self.link_bytes + other.link_bytes,
+            hidden_cycles=self.hidden_cycles + other.hidden_cycles,
         )
 
     @staticmethod

@@ -10,7 +10,9 @@ chips' clock domain so they aggregate with every existing phase.
 
 The chips must share one clock frequency — the cluster exposes a single
 cycle domain, and collective seconds are converted into it with
-``ceil(seconds * frequency)``.
+``ceil(seconds * frequency)``, applied once per aggregate rather than
+once per collective (fractional seconds accumulate across the
+collectives of a step before quantization).
 """
 
 from __future__ import annotations
@@ -73,22 +75,41 @@ class Cluster:
     def frequency_hz(self) -> float:
         return self.chip.frequency_hz
 
+    def allreduce_seconds(self, payload_bytes: int) -> float:
+        """Fractional wall-clock seconds of one allreduce.
+
+        Kept un-ceiled so a multi-collective step can accumulate float
+        seconds and convert to cycles *once* — ceiling per collective
+        (the pre-overlap behavior) overcharged up to one cycle per
+        collective, and with bucketing would overcharge per bucket.
+        """
+        return self.interconnect.allreduce_seconds(
+            payload_bytes, self.n_chips)
+
+    def link_bytes(self, payload_bytes: int) -> int:
+        """Scheduled per-chip wire bytes of one allreduce."""
+        return self.interconnect.link_bytes_per_chip(
+            payload_bytes, self.n_chips)
+
     def allreduce(self, payload_bytes: int) -> OpRun:
-        """Charge one allreduce over ``payload_bytes`` as an OpRun.
+        """Charge one *standalone* allreduce over ``payload_bytes``.
 
         The cost is the closed-form collective time converted to chip
         cycles; ``link_bytes`` records the per-chip wire traffic.  On a
         single-chip cluster every collective is free (a zero OpRun), so
-        the N=1 cluster is cycle-identical to a bare accelerator.
+        the N=1 cluster is cycle-identical to a bare accelerator.  The
+        sharded training step does *not* sum these records — it
+        accumulates :meth:`allreduce_seconds` across its collectives
+        and ceils once (see :mod:`repro.training.simulate`).
         """
-        seconds = self.interconnect.allreduce_seconds(
-            payload_bytes, self.n_chips)
-        cycles = math.ceil(seconds * self.frequency_hz)
         return OpRun(
-            cycles=cycles,
-            link_bytes=Interconnect.allreduce_bytes_per_chip(
-                payload_bytes, self.n_chips),
+            cycles=self.cycles(self.allreduce_seconds(payload_bytes)),
+            link_bytes=self.link_bytes(payload_bytes),
         )
+
+    def cycles(self, seconds: float) -> int:
+        """Convert wall-clock seconds into (ceiled) cluster cycles."""
+        return math.ceil(seconds * self.frequency_hz)
 
     def seconds(self, cycles: int) -> float:
         """Convert cluster-domain cycles to wall-clock seconds."""

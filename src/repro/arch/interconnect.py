@@ -8,7 +8,7 @@ link-level abstraction: every chip owns identical full-duplex links of
 ``link_bandwidth_bytes_per_s``, and every traversal pays
 ``link_latency_s`` once.
 
-Two topologies are supported:
+Three topologies are supported:
 
 ``ring``
     The classic bandwidth-optimal ring allreduce (reduce-scatter +
@@ -24,10 +24,40 @@ Two topologies are supported:
 
     ``T_a2a = 2 * (payload/(N*bw) + latency)``.
 
-Both schedules move the same per-chip wire traffic,
+``hierarchical``
+    Fully connected islands of ``chips_per_node`` chips (``M``), with a
+    ring across the ``K = N/M`` nodes.  The allreduce decomposes into
+    the standard three-stage hierarchical schedule: direct reduce-scatter
+    inside each node (each chip ends up owning a ``payload/M`` shard of
+    the node-level sum), a ring allreduce of that shard across its ``K``
+    per-node owners, then a direct all-gather back inside the node:
+
+    ``T_hier =  [M>1] * 2 * (payload/(M*bw) + latency)
+              + [K>1] * 2*(K-1) * (payload/(M*K*bw) + latency)``.
+
+    At ``chips_per_node == 1`` this is *exactly* the flat ``ring``; at
+    ``chips_per_node == N`` it is exactly ``all_to_all`` — the
+    degenerate-shape regression anchors in ``tests/test_overlap.py``.
+
+All three schedules move the same per-chip wire traffic,
 ``2*(N-1)/N * payload`` bytes — the well-known lower bound for a
-bandwidth-optimal allreduce — and differ only in how many latency hops
-they expose.  At ``N == 1`` every collective is free.
+bandwidth-optimal allreduce (the hierarchical stages telescope:
+``2P(M-1)/M + 2P(K-1)/(MK) = 2P(N-1)/N``) — and differ only in how
+many latency hops they expose.  At ``N == 1`` every collective is free.
+
+Bucketing
+---------
+``bucket_bytes`` splits a payload into fixed-size gradient buckets that
+allreduce back-to-back on the wire (the standard DDP bucketing
+schedule).  The wire is serialized, so the *total* collective time is
+the sum of per-bucket times — strictly more than one monolithic
+allreduce once per-bucket latency hops repeat.  What bucketing buys is
+*overlap*: a bucket can start its allreduce while compute is still
+producing later buckets, which is how
+:func:`repro.training.simulate.simulate_sharded_training_step` hides
+communication behind the backward pass (it charges only the *exposed*
+remainder).  ``bucket_bytes=None`` (default) keeps one monolithic
+bucket, making bucketed and unbucketed times identical.
 """
 
 from __future__ import annotations
@@ -36,7 +66,7 @@ import math
 from dataclasses import dataclass
 
 #: Supported interconnect topologies.
-TOPOLOGIES = ("ring", "all_to_all")
+TOPOLOGIES = ("ring", "all_to_all", "hierarchical")
 
 
 @dataclass(frozen=True)
@@ -45,11 +75,17 @@ class InterconnectConfig:
 
     Defaults follow a contemporary accelerator interconnect
     (100 GB/s per direction per link, ~1 microsecond hop latency).
+
+    ``bucket_bytes`` enables DDP-style gradient bucketing (``None`` =
+    one monolithic bucket).  ``chips_per_node`` is the island size of
+    the ``hierarchical`` topology and must be 1 for the flat ones.
     """
 
     topology: str = "ring"
     link_bandwidth_bytes_per_s: float = 100e9
     link_latency_s: float = 1e-6
+    bucket_bytes: int | None = None
+    chips_per_node: int = 1
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -60,6 +96,17 @@ class InterconnectConfig:
             raise ValueError("link bandwidth must be positive")
         if self.link_latency_s < 0:
             raise ValueError("link latency cannot be negative")
+        if self.bucket_bytes is not None and self.bucket_bytes < 1:
+            raise ValueError(
+                f"bucket_bytes must be >= 1 (or None), got "
+                f"{self.bucket_bytes}")
+        if self.chips_per_node < 1:
+            raise ValueError(
+                f"chips_per_node must be >= 1, got {self.chips_per_node}")
+        if self.topology != "hierarchical" and self.chips_per_node != 1:
+            raise ValueError(
+                "chips_per_node is only meaningful for the "
+                f"'hierarchical' topology, not {self.topology!r}")
 
 
 class Interconnect:
@@ -72,28 +119,156 @@ class Interconnect:
     def topology(self) -> str:
         return self.config.topology
 
+    # -- bucketing -----------------------------------------------------------
+
+    def _bucket_shape(self, payload_bytes: int) -> tuple[int, int, int]:
+        """``(full_buckets, bucket_size, remainder)`` of the split.
+
+        The closed-form view of the bucket schedule — every cost method
+        prices ``full`` identical buckets plus one remainder analytically
+        instead of materializing an O(payload/bucket) list.
+        """
+        if payload_bytes <= 0:
+            return 0, 0, 0
+        size = self.config.bucket_bytes
+        if size is None or size >= payload_bytes:
+            return 1, payload_bytes, 0
+        full, rem = divmod(payload_bytes, size)
+        return full, size, rem
+
+    def bucket_sizes(self, payload_bytes: int) -> list[int]:
+        """The payload split into wire buckets, in schedule order.
+
+        ``bucket_bytes=None`` (or a bucket at least as large as the
+        payload) yields one monolithic bucket; otherwise full buckets
+        of ``bucket_bytes`` plus one remainder bucket.  Inspection
+        helper — the cost methods use the closed-form
+        ``(full, size, remainder)`` shape and never materialize this
+        list.
+        """
+        full, size, rem = self._bucket_shape(payload_bytes)
+        return [size] * full + ([rem] if rem else [])
+
+    def n_buckets(self, payload_bytes: int) -> int:
+        """Number of wire buckets the payload splits into (0 if empty)."""
+        full, _, rem = self._bucket_shape(payload_bytes)
+        return full + (1 if rem else 0)
+
+    # -- time ----------------------------------------------------------------
+
+    def _node_shape(self, n_chips: int) -> tuple[int, int]:
+        """``(chips_per_node, n_nodes)`` of the hierarchical fabric."""
+        m = self.config.chips_per_node
+        if n_chips % m:
+            raise ValueError(
+                f"{n_chips} chips do not group into hierarchical nodes "
+                f"of {m}")
+        return m, n_chips // m
+
+    def _one_allreduce_seconds(self, payload_bytes: int,
+                               n_chips: int) -> float:
+        """Wall-clock seconds of one *unbucketed* allreduce."""
+        cfg = self.config
+        bw = cfg.link_bandwidth_bytes_per_s
+        lat = cfg.link_latency_s
+        if cfg.topology == "ring":
+            return 2 * (n_chips - 1) * (
+                payload_bytes / (n_chips * bw) + lat)
+        if cfg.topology == "all_to_all":
+            return 2 * (payload_bytes / (n_chips * bw) + lat)
+        m, k = self._node_shape(n_chips)
+        seconds = 0.0
+        if m > 1:  # in-node reduce-scatter + all-gather (direct)
+            seconds += 2 * (payload_bytes / (m * bw) + lat)
+        if k > 1:  # cross-node ring allreduce of the payload/M shard
+            seconds += 2 * (k - 1) * (
+                payload_bytes / (m * k * bw) + lat)
+        return seconds
+
+    def allreduce_seconds(self, payload_bytes: int, n_chips: int) -> float:
+        """Wall-clock seconds of one allreduce over ``payload_bytes``.
+
+        With bucketing enabled this is the *total* wire time — the sum
+        over the serialized bucket allreduces.  The overlap model in
+        :mod:`repro.training.simulate` decides how much of it lands on
+        the critical path.
+        """
+        if n_chips <= 1 or payload_bytes <= 0:
+            return 0.0
+        full, size, rem = self._bucket_shape(payload_bytes)
+        seconds = full * self._one_allreduce_seconds(size, n_chips)
+        if rem:
+            seconds += self._one_allreduce_seconds(rem, n_chips)
+        return seconds
+
+    def first_bucket_seconds(self, payload_bytes: int,
+                             n_chips: int) -> float:
+        """Latency of the first (largest) bucket's allreduce.
+
+        The irreducible exposed floor of an overlapped schedule: the
+        last bucket is only produced when backward compute ends, and it
+        is never larger than the first, so at least one full-bucket
+        allreduce always sticks out past the backward pass.
+        """
+        if n_chips <= 1 or payload_bytes <= 0:
+            return 0.0
+        return self._one_allreduce_seconds(
+            self._bucket_shape(payload_bytes)[1], n_chips)
+
+    # -- wire bytes ----------------------------------------------------------
+
     @staticmethod
     def allreduce_bytes_per_chip(payload_bytes: int, n_chips: int) -> int:
-        """Wire bytes each chip moves for one allreduce.
+        """Wire bytes each chip moves for one *flat-topology* allreduce.
 
-        ``2*(N-1)/N * payload`` — identical for both topologies (both
-        implement a bandwidth-optimal reduce-scatter + all-gather).
+        ``2*(N-1) * ceil(payload/N)`` — the shard is rounded *first*,
+        because the flat schedules move ``2*(N-1)`` transfers of a
+        ``ceil(payload/N)``-byte shard; rounding the product instead
+        could undercount the scheduled transfers.  The hierarchical
+        topology rounds per its own stages (a ``ceil(payload/M)``
+        in-node shard, then ``ceil(shard/K)`` across nodes) and so can
+        land slightly above or below this flat reference — use the
+        instance method :meth:`link_bytes_per_chip` for the scheduled
+        bytes of a configured fabric; every topology stays at or above
+        the unrounded ``2*(N-1)/N * payload`` lower bound.
         """
         if n_chips <= 1 or payload_bytes <= 0:
             return 0
-        return math.ceil(2 * (n_chips - 1) * payload_bytes / n_chips)
+        return 2 * (n_chips - 1) * math.ceil(payload_bytes / n_chips)
 
-    def allreduce_seconds(self, payload_bytes: int, n_chips: int) -> float:
-        """Wall-clock seconds of one allreduce over ``payload_bytes``."""
-        if n_chips <= 1 or payload_bytes <= 0:
-            return 0.0
+    def _one_link_bytes(self, payload_bytes: int, n_chips: int) -> int:
+        """Per-chip wire bytes of one unbucketed allreduce, per topology."""
         cfg = self.config
-        shard_s = payload_bytes / (n_chips * cfg.link_bandwidth_bytes_per_s)
-        steps = 2 * (n_chips - 1) if cfg.topology == "ring" else 2
-        return steps * (shard_s + cfg.link_latency_s)
+        if cfg.topology != "hierarchical":
+            return self.allreduce_bytes_per_chip(payload_bytes, n_chips)
+        m, k = self._node_shape(n_chips)
+        shard = math.ceil(payload_bytes / m)
+        in_node = 2 * (m - 1) * shard if m > 1 else 0
+        cross = 2 * (k - 1) * math.ceil(shard / k) if k > 1 else 0
+        return in_node + cross
+
+    def link_bytes_per_chip(self, payload_bytes: int, n_chips: int) -> int:
+        """Scheduled per-chip wire bytes, bucket- and topology-aware.
+
+        Sums the shard-first-rounded transfers of every bucket, so the
+        reported traffic can never undercount what the schedule moves
+        (bucketing pays its rounding overhead per bucket).
+        """
+        if n_chips <= 1 or payload_bytes <= 0:
+            return 0
+        full, size, rem = self._bucket_shape(payload_bytes)
+        total = full * self._one_link_bytes(size, n_chips)
+        if rem:
+            total += self._one_link_bytes(rem, n_chips)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cfg = self.config
+        extras = ""
+        if cfg.topology == "hierarchical":
+            extras += f", {cfg.chips_per_node}/node"
+        if cfg.bucket_bytes is not None:
+            extras += f", {cfg.bucket_bytes / 2**20:.1f} MiB buckets"
         return (f"Interconnect({cfg.topology}, "
                 f"{cfg.link_bandwidth_bytes_per_s / 1e9:.0f} GB/s, "
-                f"{cfg.link_latency_s * 1e6:.1f} us)")
+                f"{cfg.link_latency_s * 1e6:.1f} us{extras})")

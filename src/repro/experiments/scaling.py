@@ -17,6 +17,13 @@ sharded training step, under either scaling regime:
     The per-chip shard is fixed and the global batch grows with the
     cluster, so ideal scaling keeps the step time flat.
 
+The communication model is overlap-aware: ``bucket_bytes`` splits the
+gradient allreduce into pipelined buckets, ``overlap`` hides them
+behind the backward pass, and the ``hierarchical`` topology composes
+all-to-all islands of ``chips_per_node`` chips under a cross-node ring
+(see :mod:`repro.arch.interconnect`).  Rows report both the exposed
+(critical-path) and total communication time.
+
 Every design point runs in its own worker process with one JSON cache
 entry per point (:func:`repro.experiments.runner.cached_sweep`), so
 growing the swept set only computes the new combinations.
@@ -24,7 +31,8 @@ growing the swept set only computes the new combinations.
 Run it from the CLI::
 
     python -m repro scaling --chips 1 2 4 8 --mode strong \
-        --topology ring --cache-dir .repro_cache
+        --topology hierarchical --chips-per-node 4 \
+        --bucket-mb 25 --cache-dir .repro_cache
 """
 
 from __future__ import annotations
@@ -42,25 +50,41 @@ DEFAULT_MODELS = ("VGG-16", "BERT-large")
 DEFAULT_ALGORITHMS = ("DP-SGD", "DP-SGD(R)")
 
 
-def default_global_batch(model: str, chip_counts: tuple[int, ...]) -> int:
-    """Largest DP-SGD-feasible batch divisible by every chip count.
+def default_global_batch_info(
+        model: str, chip_counts: tuple[int, ...]) -> tuple[int, bool]:
+    """``(batch, clamped)`` for the default strong-scaling batch.
 
     Rounds the single-chip max mini-batch down to a multiple of
-    ``lcm(chip_counts)`` so strong scaling shards evenly, with a floor
-    of one example per chip at the largest count (models whose max
-    batch is below the LCM — e.g. BERT-large — are swept at the LCM
-    itself; the latency model does not enforce capacity).
+    ``lcm(chip_counts)`` so strong scaling shards evenly.  Models whose
+    max batch is *below* the LCM — e.g. BERT-large at wide sweeps — are
+    clamped up to the LCM itself (the latency model does not enforce
+    capacity); ``clamped=True`` flags that case so scaling efficiency
+    is not misread as capacity-feasible.
     """
     from repro.training import Algorithm, max_batch_size
     from repro.workloads import build_model
 
     batch = max_batch_size(build_model(model), Algorithm.DP_SGD)
     lcm = math.lcm(*chip_counts)
-    return max(lcm, batch // lcm * lcm)
+    if batch < lcm:
+        return lcm, True
+    return batch // lcm * lcm, False
+
+
+def default_global_batch(model: str, chip_counts: tuple[int, ...]) -> int:
+    """Largest DP-SGD-feasible batch divisible by every chip count.
+
+    See :func:`default_global_batch_info` for the clamping rule applied
+    when the max batch is below ``lcm(chip_counts)``.
+    """
+    return default_global_batch_info(model, chip_counts)[0]
 
 
 def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
-                   topology: str, base_batch: int) -> dict:
+                   topology: str, base_batch: int,
+                   overlap: bool = True, bucket_bytes: int | None = None,
+                   chips_per_node: int = 1,
+                   batch_clamped: bool = False) -> dict:
     """One scaling point: a sharded step on a ``chips``-wide cluster.
 
     ``base_batch`` is the global batch at one chip; weak scaling grows
@@ -75,20 +99,32 @@ def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
     global_batch = base_batch * chips if mode == "weak" else base_batch
     cluster = build_cluster(
         "diva", n_chips=chips,
-        interconnect=InterconnectConfig(topology=topology))
+        interconnect=InterconnectConfig(
+            topology=topology,
+            bucket_bytes=bucket_bytes,
+            chips_per_node=chips_per_node if topology == "hierarchical"
+            else 1))
     report = simulate_sharded_training_step(
-        build_model(model), Algorithm(algorithm), cluster, global_batch)
+        build_model(model), Algorithm(algorithm), cluster, global_batch,
+        overlap=overlap)
     return {
         "model": model,
         "algorithm": algorithm,
         "mode": mode,
         "topology": topology,
         "chips": chips,
+        "chips_per_node": chips_per_node,
+        "overlap": overlap,
+        "bucket_mb": (bucket_bytes / 2**20
+                      if bucket_bytes is not None else None),
         "global_batch": global_batch,
+        "batch_clamped": batch_clamped,
         "local_batch": report.local_batch,
         "step_ms": report.total_seconds * 1e3,
         "compute_ms": report.compute_seconds * 1e3,
         "comm_ms": report.comm_seconds * 1e3,
+        "comm_total_ms": report.comm_total_seconds * 1e3,
+        "comm_hidden_ms": report.comm_hidden_seconds * 1e3,
         "comm_fraction": report.comm_fraction,
         "link_mb_per_chip": report.comm.link_bytes / 1e6,
     }
@@ -101,6 +137,9 @@ def run(
     mode: str = "strong",
     topology: str = "ring",
     batch: int | None = None,
+    overlap: bool = True,
+    bucket_bytes: int | None = None,
+    chips_per_node: int = 1,
     jobs: int | None = None,
     cache: "runner.ResultCache | None" = None,
 ) -> list[dict]:
@@ -110,14 +149,36 @@ def run(
     with one clean :class:`ValueError` instead of a worker traceback
     (and never writes partial results into the cache).
     """
+    from repro.arch.interconnect import TOPOLOGIES
+
     if mode not in ("strong", "weak"):
         raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGIES}")
     chip_counts = tuple(sorted(set(chips)))
     if not chip_counts:
         raise ValueError("chips must name at least one cluster size")
     bad = [n for n in chip_counts if n < 1]
     if bad:
         raise ValueError(f"chip counts must be >= 1, got {bad}")
+    if bucket_bytes is not None and bucket_bytes < 1:
+        raise ValueError(
+            f"bucket_bytes must be >= 1 (or None), got {bucket_bytes}")
+    if topology == "hierarchical":
+        if chips_per_node < 1:
+            raise ValueError(
+                f"chips_per_node must be >= 1, got {chips_per_node}")
+        # A 1-chip baseline is exempt: it has no collectives at all.
+        lopsided = [n for n in chip_counts if n > 1 and n % chips_per_node]
+        if lopsided:
+            raise ValueError(
+                f"chip counts {lopsided} do not group into hierarchical "
+                f"nodes of {chips_per_node}")
+    elif chips_per_node != 1:
+        raise ValueError(
+            "chips_per_node is only meaningful with "
+            f"--topology hierarchical, not {topology!r}")
     if batch is not None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
@@ -132,40 +193,52 @@ def run(
                     f"across chip counts {indivisible}")
     work = []
     for model in models:
-        base = batch if batch is not None \
-            else default_global_batch(model, chip_counts)
+        if batch is not None:
+            base, clamped = batch, False
+        else:
+            base, clamped = default_global_batch_info(model, chip_counts)
         for algorithm in algorithms:
             for n in chip_counts:
-                work.append((model, n, algorithm, mode, topology, base))
+                work.append((model, n, algorithm, mode, topology, base,
+                             overlap, bucket_bytes, chips_per_node,
+                             clamped))
     return runner.cached_sweep(
         evaluate_point, work, star=True, jobs=jobs, cache=cache,
         key_fn=lambda point: {"experiment": "scaling",
                               "model": point[0], "chips": point[1],
                               "algorithm": point[2], "mode": point[3],
-                              "topology": point[4], "base_batch": point[5]},
+                              "topology": point[4], "base_batch": point[5],
+                              "overlap": point[6],
+                              "bucket_bytes": point[7],
+                              "chips_per_node": point[8],
+                              "batch_clamped": point[9]},
     )
 
 
 def annotate(rows: list[dict]) -> list[dict]:
     """Attach speedup / efficiency relative to each series' baseline.
 
-    A series is one (model, algorithm, mode, topology) group; its
-    baseline is the smallest swept chip count.  Both regimes compare
-    throughput (examples per second), which reduces to the plain
-    latency ratio under strong scaling and to step-time flatness under
-    weak scaling.  Efficiency is speedup over the ideal chip ratio.
+    A series is one (model, algorithm, mode, topology, chips-per-node,
+    overlap, bucket) group; its baseline is the smallest swept chip
+    count.  Both
+    regimes compare throughput (examples per second), which reduces to
+    the plain latency ratio under strong scaling and to step-time
+    flatness under weak scaling.  Efficiency is speedup over the ideal
+    chip ratio.
     """
+    def series_key(row: dict) -> tuple:
+        return (row["model"], row["algorithm"], row["mode"],
+                row["topology"], row.get("chips_per_node", 1),
+                row.get("overlap", True), row.get("bucket_mb"))
+
     baselines: dict[tuple, dict] = {}
     for row in rows:
-        series = (row["model"], row["algorithm"], row["mode"],
-                  row["topology"])
-        best = baselines.get(series)
+        best = baselines.get(series_key(row))
         if best is None or row["chips"] < best["chips"]:
-            baselines[series] = row
+            baselines[series_key(row)] = row
     out = []
     for row in rows:
-        base = baselines[(row["model"], row["algorithm"], row["mode"],
-                          row["topology"])]
+        base = baselines[series_key(row)]
         throughput = row["global_batch"] / row["step_ms"]
         base_throughput = base["global_batch"] / base["step_ms"]
         speedup = throughput / base_throughput
@@ -176,23 +249,43 @@ def annotate(rows: list[dict]) -> list[dict]:
 
 
 def render(rows: list[dict] | None = None) -> str:
-    """The scaling sweep as a text table."""
+    """The scaling sweep as a text table.
+
+    Batches clamped up to ``lcm(chips)`` (see
+    :func:`default_global_batch_info`) are marked ``*`` in the
+    ``Global B`` column, with a footnote — those points exceed one
+    chip's HBM and measure latency scaling only.
+    """
     rows = annotate(rows if rows is not None else run())
     mode = rows[0]["mode"] if rows else "strong"
     topology = rows[0]["topology"] if rows else "ring"
+    overlap = rows[0].get("overlap", True) if rows else True
+    bucket_mb = rows[0].get("bucket_mb") if rows else None
+    any_clamped = any(row.get("batch_clamped") for row in rows)
     table = [
-        [row["model"], row["algorithm"], row["chips"], row["global_batch"],
-         row["step_ms"], row["comm_ms"], 100.0 * row["comm_fraction"],
+        [row["model"], row["algorithm"], row["chips"],
+         (f"{row['global_batch']}*" if row.get("batch_clamped")
+          else row["global_batch"]),
+         row["step_ms"], row["comm_ms"],
+         row.get("comm_total_ms", row["comm_ms"]),
+         100.0 * row["comm_fraction"],
          row["speedup"], row["efficiency"]]
         for row in rows
     ]
-    return format_table(
-        ["Model", "Algorithm", "Chips", "Global B", "Step ms", "Comm ms",
-         "Comm %", "Speedup", "Efficiency"],
+    comm_label = ("bucketed " if bucket_mb else "") + topology
+    overlap_label = "overlapped" if overlap else "serial"
+    text = format_table(
+        ["Model", "Algorithm", "Chips", "Global B", "Step ms",
+         "Comm ms", "Comm tot", "Comm %", "Speedup", "Efficiency"],
         table,
         title=(f"Multi-chip data-parallel scaling ({mode} scaling, "
-               f"{topology} allreduce)"),
+               f"{comm_label} allreduce, {overlap_label} comm)"),
     )
+    if any_clamped:
+        text += ("\n* global batch clamped up to lcm(chips) — exceeds "
+                 "one chip's max DP-SGD batch (latency model only, not "
+                 "capacity-feasible)")
+    return text
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

@@ -35,6 +35,9 @@ def run(
     chips: int = 4,
     chips_per_cluster: int = 1,
     topology: str = "ring",
+    chips_per_node: int = 1,
+    bucket_bytes: int | None = None,
+    overlap: bool = True,
     epsilon_budget: float = DEFAULT_EPSILON_BUDGET,
     delta: float = DEFAULT_DELTA,
     cache: "runner.ResultCache | None" = None,
@@ -64,7 +67,8 @@ def run(
         raise ValueError("policies must name at least one policy")
     trace = generate_trace(TraceConfig(jobs=trace_jobs, seed=seed))
     fleet = FleetConfig(chips=chips, chips_per_cluster=chips_per_cluster,
-                        topology=topology)
+                        topology=topology, chips_per_node=chips_per_node,
+                        bucket_bytes=bucket_bytes, overlap=overlap)
     rows = []
     for policy in policies:
         admission = AdmissionController(

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
 
+from repro.arch.interconnect import InterconnectConfig
 from repro.experiments import runner
 from repro.serve.budget import AdmissionController, AdmissionDecision
 from repro.serve.job import TrainingJob
@@ -55,13 +56,20 @@ class FleetConfig:
     ``chips`` total accelerators, grouped into
     ``chips / chips_per_cluster`` identical clusters; each job occupies
     one whole cluster for its lifetime (DP-SGD steps are synchronous,
-    so fractional clusters would serialize anyway).
+    so fractional clusters would serialize anyway).  ``chips_per_node``,
+    ``bucket_bytes`` and ``overlap`` configure the overlap-aware
+    intra-cluster communication model
+    (:mod:`repro.arch.interconnect`); service-time predictions pick
+    them up transparently through the memoized sharded step.
     """
 
     chips: int = 4
     chips_per_cluster: int = 1
     kind: str = "diva"
     topology: str = "ring"
+    chips_per_node: int = 1
+    bucket_bytes: int | None = None
+    overlap: bool = True
 
     def __post_init__(self) -> None:
         if self.chips < 1:
@@ -74,6 +82,17 @@ class FleetConfig:
             raise ValueError(
                 f"{self.chips} chips do not group into clusters of "
                 f"{self.chips_per_cluster}")
+        # The fabric knobs (topology, bucket_bytes, chips_per_node)
+        # validate themselves; only cluster divisibility is ours.
+        InterconnectConfig(topology=self.topology,
+                           bucket_bytes=self.bucket_bytes,
+                           chips_per_node=self.chips_per_node)
+        if self.topology == "hierarchical" and self.chips_per_cluster > 1 \
+                and self.chips_per_cluster % self.chips_per_node:
+            # 1-chip clusters are exempt: they have no collectives.
+            raise ValueError(
+                f"{self.chips_per_cluster} chips per cluster do not "
+                f"group into hierarchical nodes of {self.chips_per_node}")
 
     @property
     def n_clusters(self) -> int:
@@ -101,18 +120,22 @@ class JobRecord:
 
 @lru_cache(maxsize=4096)
 def _step_seconds(kind: str, chips_per_cluster: int, topology: str,
-                  model: str, algorithm: str, batch: int) -> float:
+                  chips_per_node: int, bucket_bytes: int | None,
+                  overlap: bool, model: str, algorithm: str,
+                  batch: int) -> float:
     """One sharded training step's latency, closed-form."""
-    from repro.arch.interconnect import InterconnectConfig
     from repro.core import build_cluster
     from repro.training import Algorithm, simulate_sharded_training_step
     from repro.workloads import build_model
 
     cluster = build_cluster(
         kind, n_chips=chips_per_cluster,
-        interconnect=InterconnectConfig(topology=topology))
+        interconnect=InterconnectConfig(
+            topology=topology, bucket_bytes=bucket_bytes,
+            chips_per_node=chips_per_node))
     report = simulate_sharded_training_step(
-        build_model(model), Algorithm(algorithm), cluster, batch)
+        build_model(model), Algorithm(algorithm), cluster, batch,
+        overlap=overlap)
     return report.total_seconds
 
 
@@ -132,13 +155,17 @@ def predict_step_seconds(
         * fleet.chips_per_cluster
     key = {"experiment": "serve-step", "kind": fleet.kind,
            "chips_per_cluster": fleet.chips_per_cluster,
-           "topology": fleet.topology, "model": job.model,
+           "topology": fleet.topology,
+           "chips_per_node": fleet.chips_per_node,
+           "bucket_bytes": fleet.bucket_bytes,
+           "overlap": fleet.overlap, "model": job.model,
            "algorithm": job.algorithm, "batch": batch}
     return runner.run_cached(
         key,
         lambda: _step_seconds(fleet.kind, fleet.chips_per_cluster,
-                              fleet.topology, job.model, job.algorithm,
-                              batch),
+                              fleet.topology, fleet.chips_per_node,
+                              fleet.bucket_bytes, fleet.overlap,
+                              job.model, job.algorithm, batch),
         cache=cache)
 
 

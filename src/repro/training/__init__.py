@@ -18,6 +18,7 @@ from repro.training.simulate import (
     ClusterTrainingReport,
     TrainingReport,
     allreduce_payload_bytes,
+    overlappable_backward_cycles,
     simulate_sharded_training_step,
     simulate_training_step,
     stage_utilization,
@@ -38,6 +39,7 @@ __all__ = [
     "TrainingReport",
     "ClusterTrainingReport",
     "allreduce_payload_bytes",
+    "overlappable_backward_cycles",
     "simulate_training_step",
     "simulate_sharded_training_step",
     "stage_utilization",

@@ -31,10 +31,27 @@ Modeling notes
   generates identical noise from a shared seed, and applies the same
   update, so no parameter broadcast is needed.  Passing a ``Cluster``
   to :func:`simulate_training_step` dispatches to the sharded path.
+* Communication/compute overlap (``overlap=True``, the default) models
+  the standard DDP bucketed-allreduce schedule: when the interconnect
+  buckets the gradient payload (``InterconnectConfig.bucket_bytes``),
+  a bucket allreduces while backward compute is still producing later
+  buckets.  The ``Comm`` phase then charges only the *exposed* time,
+  ``max(first-bucket latency, comm_total - overlappable backward
+  cycles)``, with the hidden remainder recorded in
+  ``OpRun.hidden_cycles`` so reports can show both.  The overlappable
+  window is the gradient-*producing* backward phase
+  (:func:`overlappable_backward_cycles`) scaled by ``(B-1)/B`` for
+  ``B`` buckets — the first bucket must exist before any wire time can
+  hide.  With one monolithic bucket nothing overlaps (the sum is only
+  ready when backward ends), so ``overlap`` changes nothing unless
+  bucketing is on; the tiny per-example norm allreduce (which feeds
+  the shared privacy accountant) is charged serially — conservative,
+  and negligible at ``B * 4`` bytes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -126,9 +143,12 @@ class ClusterTrainingReport:
     ``shard`` is the local execution of one chip's shard (all chips are
     identical, so one report represents every shard); ``comm`` is the
     cross-chip collective stage.  The step latency is
-    ``shard latency + comm latency``: the allreduce sits on the
-    critical path between the last local phase and the (replicated)
-    optimizer — the model does not overlap communication with compute.
+    ``shard latency + comm latency``, where ``comm.cycles`` is the
+    *exposed* (critical-path) communication: with overlap enabled and a
+    bucketed interconnect, the portion of the gradient allreduce hidden
+    behind backward compute lands in ``comm.hidden_cycles`` instead.
+    Serial execution (``overlap=False``, or a single monolithic bucket)
+    exposes everything and ``hidden_cycles`` is zero.
     """
 
     cluster: str
@@ -137,6 +157,7 @@ class ClusterTrainingReport:
     global_batch: int
     shard: TrainingReport
     comm: OpRun
+    overlap: bool = True
 
     @property
     def local_batch(self) -> int:
@@ -174,12 +195,27 @@ class ClusterTrainingReport:
 
     @property
     def comm_seconds(self) -> float:
-        """Cross-chip collective portion of the step."""
+        """Exposed (critical-path) collective portion of the step."""
         return self.comm.cycles / self.frequency_hz
 
     @property
+    def comm_exposed_seconds(self) -> float:
+        """Alias of :attr:`comm_seconds` — the un-hidden collective time."""
+        return self.comm_seconds
+
+    @property
+    def comm_total_seconds(self) -> float:
+        """Total wire time of the collectives, exposed plus hidden."""
+        return self.comm.busy_cycles / self.frequency_hz
+
+    @property
+    def comm_hidden_seconds(self) -> float:
+        """Collective time overlapped behind backward compute."""
+        return self.comm.hidden_cycles / self.frequency_hz
+
+    @property
     def comm_fraction(self) -> float:
-        """Fraction of the step spent in the allreduce stage."""
+        """Fraction of the step spent in the (exposed) allreduce stage."""
         if self.total_cycles == 0:
             return 0.0
         return self.comm.cycles / self.total_cycles
@@ -247,16 +283,19 @@ def simulate_training_step(
     algorithm: Algorithm,
     accelerator: "Accelerator | Cluster",
     batch: int,
+    *,
+    overlap: bool = True,
 ) -> "TrainingReport | ClusterTrainingReport":
     """Simulate one training step and return the per-phase report.
 
     Passing a :class:`~repro.arch.cluster.Cluster` dispatches to
     :func:`simulate_sharded_training_step` with ``batch`` as the global
-    mini-batch, returning a :class:`ClusterTrainingReport`.
+    mini-batch, returning a :class:`ClusterTrainingReport`; ``overlap``
+    only matters on that path (single-chip steps have no collectives).
     """
     if isinstance(accelerator, Cluster):
         return simulate_sharded_training_step(
-            network, algorithm, accelerator, batch)
+            network, algorithm, accelerator, batch, overlap=overlap)
     plan = phase_gemms(network, algorithm, batch)
     fuse = accelerator.can_fuse_norm
     gemm_params = network.gemm_params
@@ -397,11 +436,29 @@ def allreduce_payload_bytes(network: Network,
     return payloads
 
 
+def overlappable_backward_cycles(report: TrainingReport) -> int:
+    """Backward cycles the gradient allreduce may hide behind.
+
+    The overlappable window is the phase that *produces* the per-batch
+    gradient payload bucket by bucket: under DP-SGD the clipping pass
+    (clip-and-accumulate finalizes the local sum for a parameter bucket
+    once every example's slice of it has been scaled), under DP-SGD(R)
+    and plain SGD the per-batch weight-gradient GEMMs (gradients
+    materialize layer by layer).  Everything after the allreduce
+    (reduce tail, noise, update) can never overlap and is excluded.
+    """
+    if report.algorithm is Algorithm.DP_SGD:
+        return report.phase_cycles(Phase.BWD_GRAD_CLIP)
+    return report.phase_cycles(Phase.BWD_BATCH_GRAD)
+
+
 def simulate_sharded_training_step(
     network: Network,
     algorithm: Algorithm,
     cluster: Cluster,
     global_batch: int,
+    *,
+    overlap: bool = True,
 ) -> ClusterTrainingReport:
     """Simulate one data-parallel training step sharded across a cluster.
 
@@ -410,10 +467,22 @@ def simulate_sharded_training_step(
     ``global_batch / N`` shard (the per-batch reduce/noise/update tail
     is replicated, so it appears once — all chips execute it in
     lock-step on identical data).  The communication phase charges one
-    allreduce per payload of :func:`allreduce_payload_bytes`; on an
-    ``N=1`` cluster every collective is free and the shard report is
-    bitwise-identical to :func:`simulate_training_step` on the bare
-    chip.
+    allreduce per payload of :func:`allreduce_payload_bytes`; fractional
+    collective seconds accumulate across the step and quantize to
+    cluster cycles *once*, so no per-collective (or, with bucketing,
+    per-bucket) rounding surcharge creeps in.  On an ``N=1`` cluster
+    every collective is free and the shard report is bitwise-identical
+    to :func:`simulate_training_step` on the bare chip.
+
+    With ``overlap=True`` (default) and a bucketed interconnect, the
+    gradient-sum allreduce overlaps the backward compute that produces
+    later buckets: the ``Comm`` phase charges
+    ``max(first-bucket latency, comm_total - overlappable backward
+    seconds)`` for that collective, and the hidden remainder is
+    recorded in ``comm.hidden_cycles``.  ``overlap=False`` — or a
+    single monolithic bucket, whose payload only exists once backward
+    has finished — charges the full serial time, identical to the
+    pre-overlap model.
     """
     n = cluster.n_chips
     if global_batch <= 0:
@@ -424,9 +493,29 @@ def simulate_sharded_training_step(
             f"{n} chips")
     shard = simulate_training_step(
         network, algorithm, cluster.chip, global_batch // n)
-    comm = OpRun.zero()
-    for payload in allreduce_payload_bytes(network, algorithm, global_batch):
-        comm = comm + cluster.allreduce(payload)
+    payloads = allreduce_payload_bytes(network, algorithm, global_batch)
+    total_s = sum(cluster.allreduce_seconds(p) for p in payloads)
+    wire_bytes = sum(cluster.link_bytes(p) for p in payloads)
+    exposed_s = total_s
+    if overlap and n > 1:
+        # Only the gradient-sum allreduce (the first payload) overlaps;
+        # the norm-bookkeeping collective stays serial.
+        grad_payload = payloads[0]
+        grad_s = cluster.allreduce_seconds(grad_payload)
+        buckets = cluster.interconnect.n_buckets(grad_payload)
+        window_s = (overlappable_backward_cycles(shard)
+                    / cluster.frequency_hz) * (buckets - 1) / buckets
+        exposed_grad_s = max(
+            cluster.interconnect.first_bucket_seconds(grad_payload, n),
+            grad_s - window_s)
+        exposed_s = exposed_grad_s + (total_s - grad_s)
+    total_cycles = cluster.cycles(total_s)
+    exposed_cycles = min(cluster.cycles(exposed_s), total_cycles)
+    comm = OpRun(
+        cycles=exposed_cycles,
+        hidden_cycles=total_cycles - exposed_cycles,
+        link_bytes=wire_bytes,
+    )
     return ClusterTrainingReport(
         cluster=cluster.name,
         n_chips=n,
@@ -434,6 +523,7 @@ def simulate_sharded_training_step(
         global_batch=global_batch,
         shard=shard,
         comm=comm,
+        overlap=overlap,
     )
 
 
