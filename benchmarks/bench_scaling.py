@@ -84,3 +84,69 @@ def test_scaling_smoke_sweep(capsys):
               f"{wall:.2f}s -> {BENCH_JSON.name}")
     # Loose floor: the closed-form sweep should stay interactive.
     assert wall < 60.0
+
+
+def _timed(fn, *args, **kwargs):
+    from repro.arch.engine import clear_gemm_stats_cache
+
+    clear_gemm_stats_cache()
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_batched_sweep_speedup_vs_pool(capsys):
+    """Record the batched engine's speedup over the process pool.
+
+    The ``scaling`` and ``design-space`` sweeps are fully analytic and
+    route through the batched closed-form engine; this benchmark times
+    the same grids through the legacy process-pool path, asserts the
+    rows are value-identical, and appends the measured speedups to
+    ``BENCH_scaling.json`` (floor-checked in CI).
+    """
+    from repro.experiments import design_space, runner
+
+    scaling_work = []
+    for model in ("SqueezeNet", "MobileNet", "VGG-16"):
+        base, clamped = scaling.default_global_batch_info(
+            model, (1, 2, 4, 8))
+        for algorithm in ("DP-SGD", "DP-SGD(R)", "SGD"):
+            for chips in (1, 2, 4, 8):
+                for bucket in (None, 2**20, 4 * 2**20):
+                    scaling_work.append(
+                        (model, chips, algorithm, "strong", "ring", base,
+                         True, bucket, 1, clamped))
+    design_work = [(model, h, h)
+                   for model in ("SqueezeNet", "MobileNet")
+                   for h in (32, 48, 64, 96, 128, 160, 192, 256)]
+
+    sections = {}
+    for name, work, batched_fn, scalar_fn in (
+        ("scaling", scaling_work, scaling.evaluate_points_batched,
+         scaling.evaluate_point),
+        ("design_space", design_work, design_space.evaluate_points_batched,
+         design_space.evaluate_point),
+    ):
+        batched_rows, batched_s = _timed(batched_fn, work)
+        pool_rows, pool_s = _timed(
+            runner.sweep, scalar_fn, work, star=True)
+        assert batched_rows == pool_rows  # value-identical, not close
+        sections[name] = {
+            "points": len(work),
+            "batched_seconds": batched_s,
+            "pool_seconds": pool_s,
+            "speedup": pool_s / batched_s,
+        }
+
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload["batched_vs_pool"] = sections
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        for name, section in sections.items():
+            print(f"\n{name}: batched {section['batched_seconds']*1e3:.0f}ms"
+                  f" vs pool {section['pool_seconds']*1e3:.0f}ms -> "
+                  f"{section['speedup']:.1f}x")
+    for section in sections.values():
+        assert section["speedup"] >= 5.0

@@ -1,0 +1,88 @@
+"""Benchmark: streaming fleet-simulator throughput + memory record.
+
+Replays a 10k-job and a 1M-job synthetic trace through the array-backed
+streaming scheduler (vectorized trace generation, batched admission,
+P²-streaming metrics) and persists jobs/sec and peak RSS to
+``BENCH_serve.json`` at the repo root — gitignored locally, uploaded as
+a CI artifact like the other perf records, and floor-checked by
+``tools/check_bench.py`` so a throughput regression fails the build.
+"""
+
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import (
+    AdmissionController,
+    FleetConfig,
+    TenantBudget,
+    TraceConfig,
+    generate_trace_arrays,
+    simulate_fleet_streaming,
+)
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: Trace lengths recorded: a quick smoke point and the million-job
+#: tentpole the streaming path exists for.
+TRACE_SIZES = (10_000, 1_000_000)
+#: Mean inter-arrival keeping a 16-chip fleet contended even at 1M jobs.
+MEAN_INTERARRIVAL_S = 0.5
+
+
+def _peak_rss_mb() -> float:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak / 2**20 if sys.platform == "darwin" else peak / 1024
+
+
+def test_streaming_serve_throughput(capsys):
+    """Time the 10k and 1M traces end to end; persist the record."""
+    points = []
+    for jobs in TRACE_SIZES:
+        start = time.perf_counter()
+        trace = generate_trace_arrays(TraceConfig(
+            jobs=jobs, seed=7, mean_interarrival_s=MEAN_INTERARRIVAL_S))
+        admission = AdmissionController(TenantBudget(epsilon=3.0))
+        decisions = admission.admit_batch(trace)
+        report = simulate_fleet_streaming(
+            trace, FleetConfig(chips=16), policy="fifo",
+            admission=admission, decisions=decisions)
+        wall = time.perf_counter() - start
+
+        # Streaming contract: every job accounted for, no per-job
+        # records retained.
+        assert report.submitted == jobs
+        assert report.completed + report.rejected == jobs
+        assert report.records == ()
+        for usage in report.tenants:
+            assert usage.epsilon_spent <= usage.budget_epsilon + 1e-9
+
+        points.append({
+            "jobs": jobs,
+            "wall_seconds": wall,
+            "jobs_per_sec": jobs / wall,
+            "peak_rss_mb": _peak_rss_mb(),
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "wait_p99_s": report.wait_p99_s,
+        })
+
+    payload = {
+        "benchmark": "serve_streaming",
+        "chips": 16,
+        "policy": "fifo",
+        "mean_interarrival_s": MEAN_INTERARRIVAL_S,
+        "points": points,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        for point in points:
+            print(f"\nserve streaming — {point['jobs']:,} jobs in "
+                  f"{point['wall_seconds']:.2f}s "
+                  f"({point['jobs_per_sec']:,.0f} jobs/s, peak RSS "
+                  f"{point['peak_rss_mb']:.0f} MB) -> {BENCH_JSON.name}")
+    # Loose in-test floor; the CI guard applies the real thresholds.
+    assert points[-1]["jobs_per_sec"] > 1_000

@@ -137,6 +137,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             overlap=args.overlap,
             epsilon_budget=args.epsilon_budget,
             delta=args.delta,
+            streaming=args.streaming,
             cache=cache,
         )
     except ValueError as error:
@@ -166,7 +167,8 @@ def main(argv: list[str] | None = None) -> int:
                      ).Algorithm])
     design = sub.add_parser(
         "design-space",
-        help="sweep PE-array geometries (parallel, JSON-cached)")
+        help="sweep PE-array geometries (batched in-process, "
+             "JSON-cached)")
     design.add_argument("--models", nargs="+", default=["VGG-16",
                                                         "BERT-large"],
                         choices=MODEL_NAMES, metavar="MODEL")
@@ -178,7 +180,9 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="W",
                         help="PE-array widths (full cross product)")
     design.add_argument("--jobs", type=int, default=None,
-                        help="worker processes (default: all cores)")
+                        help="accepted for compatibility; the sweep is "
+                             "analytic and runs batched in-process "
+                             "without workers")
     design.add_argument("--cache-dir", default=None,
                         help="persist results as JSON under this "
                              "directory, keyed by config hash")
@@ -187,7 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     scal = sub.add_parser(
         "scaling",
         help="multi-chip data-parallel DP-SGD scaling sweep "
-             "(parallel, JSON-cached)")
+             "(batched in-process, JSON-cached)")
     scal.add_argument("--chips", nargs="+", type=int, default=None,
                       metavar="N",
                       help="cluster sizes to sweep (default: 1 2 4 8)")
@@ -223,7 +227,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="global batch at one chip (default: largest "
                            "feasible multiple of lcm(chips))")
     scal.add_argument("--jobs", type=int, default=None,
-                      help="worker processes (default: all cores)")
+                      help="accepted for compatibility; the sweep is "
+                           "analytic and runs batched in-process "
+                           "without workers")
     scal.add_argument("--cache-dir", default=None,
                       help="persist results as JSON under this "
                            "directory, keyed by config hash")
@@ -233,9 +239,16 @@ def main(argv: list[str] | None = None) -> int:
         "serve",
         help="multi-tenant DP-training fleet simulator with "
              "privacy-budget admission control")
-    serve.add_argument("--trace-jobs", type=int, default=60,
-                       metavar="N",
-                       help="synthetic trace length (default: 60)")
+    serve.add_argument("--jobs", "--trace-jobs", dest="trace_jobs",
+                       type=int, default=60, metavar="N",
+                       help="synthetic trace length (default: 60); "
+                            "traces of 10k+ jobs stream through the "
+                            "array-backed simulator")
+    serve.add_argument("--streaming", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="force the streaming (array-backed, O(1)-"
+                            "metric) simulator on or off (default: "
+                            "auto by trace length)")
     serve.add_argument("--seed", type=int, default=7,
                        help="trace generator seed (default: 7)")
     serve.add_argument("--chips", type=int, default=4,

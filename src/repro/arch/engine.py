@@ -262,6 +262,13 @@ class GemmEngine(abc.ABC):
     name: str = "abstract"
     #: Dataflow family: "weight_stationary" or "output_stationary".
     dataflow: str = "abstract"
+    #: Which GEMM dims :meth:`tile_grid` chunks onto the PE grid, as
+    #: ``(rows_axis, cols_axis)`` names in {"m", "k", "n"} — rows chunk
+    #: by ``height``, columns by ``width``.  ``None`` means the engine
+    #: has no declarative grid and the batched evaluator
+    #: (:func:`repro.arch.batch.gemm_stats_batch`) falls back to a
+    #: scalar loop.  Must agree with :meth:`tile_grid`.
+    grid_axes: tuple[str, str] | None = None
 
     def __init__(self, config: ArrayConfig | None = None) -> None:
         self.config = config or ArrayConfig()

@@ -35,6 +35,7 @@ class WeightStationaryEngine(GemmEngine):
 
     name = "WS"
     dataflow = "weight_stationary"
+    grid_axes = ("k", "n")
 
     def tiles(self, gemm: Gemm) -> list[TileShape]:
         """Tile K onto PE rows and N onto PE columns; M streams."""
@@ -83,6 +84,7 @@ class OutputStationaryEngine(GemmEngine):
 
     name = "OS"
     dataflow = "output_stationary"
+    grid_axes = ("m", "n")
 
     def tiles(self, gemm: Gemm) -> list[TileShape]:
         """Tile M onto PE rows and N onto PE columns; K streams."""

@@ -31,6 +31,7 @@ class OuterProductEngine(GemmEngine):
 
     name = "DiVa"
     dataflow = "output_stationary"
+    grid_axes = ("m", "n")
 
     def tiles(self, gemm: Gemm) -> list[TileShape]:
         """Tile M onto PE rows and N onto PE columns; K iterates in time."""

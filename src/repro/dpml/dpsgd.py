@@ -111,10 +111,13 @@ class DpSgdOptimizer:
 
         sq_norms = net.per_example_sq_norms()
         scales = clip_scales(sq_norms, self.privacy.clip_norm)
+        # Stacked contraction over the example axis — no B x params
+        # scaled-gradient intermediate (see repro.dpml.microbatch).
+        from repro.dpml.microbatch import clipped_grad_sum
+
         for layer in net.weight_layers:
             for name, per_ex in layer.per_example_grads.items():
-                shape = (batch,) + (1,) * (per_ex.ndim - 1)
-                layer.grads[name] = (per_ex * scales.reshape(shape)).sum(axis=0)
+                layer.grads[name] = clipped_grad_sum(per_ex, scales)
         self._apply_update(batch)
         self.steps_taken += 1
         return StepResult(

@@ -18,6 +18,29 @@ from repro.dpml.loss import softmax_cross_entropy
 from repro.dpml.modes import GradMode
 
 
+def clipped_grad_sum(per_example: np.ndarray,
+                     scales: np.ndarray) -> np.ndarray:
+    """Clipped gradient sum ``sum_b scales[b] * per_example[b]``.
+
+    One stacked contraction (``tensordot`` over the example axis, the
+    einsum ``b...,b->...``) instead of materializing the
+    ``B x params`` scaled-gradient intermediate and reducing it — the
+    hot inner op of every per-example clip-and-accumulate step.
+    :func:`clipped_grad_sum_loop` is the per-example loop oracle the
+    test suite pins this against.
+    """
+    return np.tensordot(scales, per_example, axes=(0, 0))
+
+
+def clipped_grad_sum_loop(per_example: np.ndarray,
+                          scales: np.ndarray) -> np.ndarray:
+    """Per-example loop oracle for :func:`clipped_grad_sum`."""
+    total = np.zeros_like(per_example[0])
+    for gradient, scale in zip(per_example, scales):
+        total = total + scale * gradient
+    return total
+
+
 class MicrobatchDpSgdOptimizer(DpSgdOptimizer):
     """DP-SGD with gradient accumulation over micro-batches."""
 
@@ -51,8 +74,7 @@ class MicrobatchDpSgdOptimizer(DpSgdOptimizer):
             scales = clip_scales(sq_norms, self.privacy.clip_norm)
             for layer in net.weight_layers:
                 for name, per_ex in layer.per_example_grads.items():
-                    shape = (len(xb),) + (1,) * (per_ex.ndim - 1)
-                    summed = (per_ex * scales.reshape(shape)).sum(axis=0)
+                    summed = clipped_grad_sum(per_ex, scales)
                     key = (id(layer), name)
                     if key in accumulated:
                         accumulated[key] += summed

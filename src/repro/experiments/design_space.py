@@ -3,10 +3,14 @@
 The paper evaluates one array geometry (128x128 at 940 MHz).  With the
 closed-form GEMM cycle engine, sweeping the geometry is cheap enough to
 explore systematically: this experiment evaluates DiVa-over-WS DP-SGD(R)
-speedup (and DiVa utilization) across PE-array shapes and models, one
-worker process per design point, with one JSON cache entry per point
-(:func:`repro.experiments.runner.cached_sweep`) so extending the swept
-set only computes the new combinations.
+speedup (and DiVa utilization) across PE-array shapes and models.  The
+sweep is fully analytic, so every cache-missing point is priced in one
+batched in-process evaluation
+(:func:`repro.training.training_step_batch` via
+:func:`repro.experiments.runner.cached_batch`), with one JSON cache
+entry per point so extending the swept set only computes the new
+combinations; the per-point :func:`evaluate_point` stays as the pinned
+scalar oracle.
 
 Run it from the CLI::
 
@@ -32,19 +36,12 @@ def evaluate_point(name: str, height: int, width: int,
     Returns a JSON-serializable dict so results can be persisted by
     :func:`repro.experiments.runner.run_cached`.
     """
-    from repro.arch.engine import ArrayConfig
     from repro.core import build_accelerator
-    from repro.core.config import DivaConfig
-    from repro.core.ppu import PpuConfig
     from repro.training import Algorithm, max_batch_size, \
         simulate_training_step
     from repro.workloads import build_model
 
-    array = ArrayConfig(height=height, width=width)
-    # The PPU trees must span one PE-array row (DivaConfig invariant).
-    ppu = PpuConfig(num_trees=array.drain_rows_per_cycle,
-                    tree_width=max(width, 2))
-    config = DivaConfig(array=array, ppu=ppu)
+    config = _design_config(height, width)
     network = build_model(name, input_size=input_size, seq_len=seq_len)
     batch = max_batch_size(network, Algorithm.DP_SGD)
     ws = build_accelerator("ws", config=config)
@@ -62,6 +59,76 @@ def evaluate_point(name: str, height: int, width: int,
     }
 
 
+def _design_config(height: int, width: int) -> "DivaConfig":
+    """The shared WS/DiVa architecture config of one design point."""
+    from repro.arch.engine import ArrayConfig
+    from repro.core.config import DivaConfig
+    from repro.core.ppu import PpuConfig
+
+    array = ArrayConfig(height=height, width=width)
+    # The PPU trees must span one PE-array row (DivaConfig invariant).
+    ppu = PpuConfig(num_trees=array.drain_rows_per_cycle,
+                    tree_width=max(width, 2))
+    return DivaConfig(array=array, ppu=ppu)
+
+
+def evaluate_points_batched(points: list[tuple]) -> list[dict]:
+    """Batched-engine evaluation of :func:`evaluate_point` work tuples.
+
+    Both design points of every geometry (the WS baseline and DiVa)
+    become one spec list for
+    :func:`repro.training.training_step_batch`, so the whole grid's
+    GEMMs are priced in a few NumPy passes.  Rows are value-identical
+    to the per-point scalar path (the pinned oracle).
+    """
+    from repro.core import build_accelerator
+    from repro.training import Algorithm, max_batch_size
+    from repro.training.batch import training_step_batch
+    from repro.workloads import build_model
+
+    networks: dict[tuple, object] = {}
+    batches: dict[tuple, int] = {}
+    accelerators: dict[tuple, object] = {}
+    specs = []
+    meta = []
+    for point in points:
+        name, height, width = point[:3]
+        input_size = point[3] if len(point) > 3 else 32
+        seq_len = point[4] if len(point) > 4 else 32
+        net_key = (name, input_size, seq_len)
+        network = networks.get(net_key)
+        if network is None:
+            network = networks[net_key] = build_model(
+                name, input_size=input_size, seq_len=seq_len)
+            batches[net_key] = max_batch_size(network, Algorithm.DP_SGD)
+        batch = batches[net_key]
+        pair = []
+        for kind in ("ws", "diva"):
+            accel_key = (kind, height, width)
+            accel = accelerators.get(accel_key)
+            if accel is None:
+                accel = accelerators[accel_key] = build_accelerator(
+                    kind, with_ppu=(kind == "diva"),
+                    config=_design_config(height, width))
+            pair.append(len(specs))
+            specs.append((accel, network, Algorithm.DP_SGD_R, batch))
+        meta.append((name, height, width, batch, pair[0], pair[1]))
+
+    seconds = training_step_batch(specs).total_seconds
+    return [
+        {
+            "model": name,
+            "height": height,
+            "width": width,
+            "batch": batch,
+            "ws_ms": float(seconds[ws_i]) * 1e3,
+            "diva_ms": float(seconds[diva_i]) * 1e3,
+            "speedup": float(seconds[ws_i]) / float(seconds[diva_i]),
+        }
+        for name, height, width, batch, ws_i, diva_i in meta
+    ]
+
+
 def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     heights: tuple[int, ...] = DEFAULT_HEIGHTS,
@@ -76,9 +143,13 @@ def run(
             for name in models for h in heights for w in widths
             if not square_only or h == w]
     # One cache entry per point: growing the swept set only computes
-    # the new (model, height, width) combinations.
-    return runner.cached_sweep(
-        evaluate_point, work, star=True, jobs=jobs, cache=cache,
+    # the new (model, height, width) combinations.  The sweep is fully
+    # analytic, so misses are priced in one batched in-process
+    # evaluation (`jobs` is accepted for API stability; no workers are
+    # needed) — `evaluate_point` remains as the pinned scalar oracle.
+    del jobs
+    return runner.cached_batch(
+        evaluate_points_batched, work, cache=cache,
         key_fn=lambda point: {"experiment": "design_space",
                               "model": point[0], "height": point[1],
                               "width": point[2]},

@@ -26,6 +26,14 @@ API
     :func:`sweep` with one persisted entry *per item* (keyed by
     ``config_hash(key_fn(item))``): growing a sweep recomputes only
     the new points.
+``cached_batch(batch_fn, items, *, key_fn, cache=None)``
+    The in-process counterpart for *analytic* sweeps: one
+    ``get_many`` lookup pass per grid, one batched evaluation of the
+    missing items (``batch_fn`` gets the list, returns the values in
+    order — this is where the NumPy batched engines plug in), one
+    ``put_many`` write batch with a single fsync.  The ``scaling`` and
+    ``design-space`` experiments route through this; the process pool
+    stays for non-analytic work.
 ``config_hash(obj)``
     Stable short SHA-256 of a canonical JSON rendering of ``obj``
     (dataclasses, enums, tuples and mappings are normalized first).
@@ -186,26 +194,35 @@ class ResultCache:
             return None
         return payload.get("value") if isinstance(payload, dict) else None
 
-    def put(self, key_hash: str, key: Any, value: Any) -> None:
-        """Atomically persist ``value`` (and its key, for debuggability).
+    def get_many(self, key_hashes: Iterable[str]) -> list[Any | None]:
+        """One :meth:`get` per hash, as a single batched lookup pass.
 
-        Concurrent sweep workers (and the serving scheduler's cached
-        step-latency lookups) may hammer the same entry: the payload is
-        written to a private temp file *in the cache directory* (same
-        filesystem, so the rename cannot degrade to copy+delete),
-        flushed and fsynced, then published with ``os.replace`` — a
-        reader can observe the old entry or the new one, never torn
-        JSON.
+        The batched sweep paths resolve a whole grid's cache state up
+        front through this (one call per grid, not one per point), so
+        misses can be computed together in one vectorized evaluation.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
+        return [self.get(key_hash) for key_hash in key_hashes]
+
+    def _publish(self, key_hash: str, key: Any, value: Any,
+                 fsync_file: bool) -> None:
+        """Write one entry via temp-file + ``os.replace``.
+
+        The temp file lives *in the cache directory* (same filesystem,
+        so the rename cannot degrade to copy+delete); a reader can
+        observe the old entry or the new one, never torn JSON.
+        ``fsync_file`` controls whether the payload is flushed to disk
+        before publishing — the durability knob :meth:`put` and
+        :meth:`put_many` differ on.
+        """
         payload = json.dumps({"key": _jsonable(key), "value": value},
                              indent=2, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
+                if fsync_file:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, self.path(key_hash))
         except BaseException:
             try:
@@ -213,6 +230,45 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put(self, key_hash: str, key: Any, value: Any) -> None:
+        """Atomically persist ``value`` (and its key, for debuggability).
+
+        Concurrent sweep workers (and the serving scheduler's cached
+        step-latency lookups) may hammer the same entry: the payload is
+        flushed and fsynced, then published with ``os.replace`` — the
+        torn-read guarantee of :meth:`_publish`.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._publish(key_hash, key, value, fsync_file=True)
+
+    def put_many(
+        self, entries: Iterable[tuple[str, Any, Any]],
+    ) -> None:
+        """Persist ``(key_hash, key, value)`` entries, one fsync per batch.
+
+        Each entry still goes through :meth:`_publish` (temp file +
+        ``os.replace``), so readers keep :meth:`put`'s torn-read
+        guarantee — old entry or new entry, never torn JSON.  What is
+        amortized is *durability*: instead of fsyncing every file, the
+        batch issues a single directory fsync at the end — a crash can
+        lose the latest batch of entries (the cache would simply
+        recompute them) but can never surface a corrupt one.  The
+        batched sweep paths write a whole grid through this.
+        """
+        batch = list(entries)
+        if not batch:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        for key_hash, key, value in batch:
+            self._publish(key_hash, key, value, fsync_file=False)
+        dir_fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass  # some filesystems refuse directory fsync; best effort
+        finally:
+            os.close(dir_fd)
 
 
 def default_cache() -> ResultCache | None:
@@ -271,5 +327,44 @@ def cached_sweep(
                      jobs=jobs, parallel=parallel, star=star)
     for index, value in zip(missing, computed):
         cache.put(hashes[index], keys[index], value)
+        results[index] = value
+    return results
+
+
+def cached_batch(
+    batch_fn: Callable[[list], list],
+    items: Iterable,
+    *,
+    key_fn: Callable[[Any], Any],
+    cache: ResultCache | None = None,
+) -> list:
+    """Per-item persistent memoization around one *batched* evaluator.
+
+    The in-process analogue of :func:`cached_sweep` for analytic work:
+    instead of fanning items out to a process pool, ``batch_fn``
+    receives the list of cache-missing items in input order and must
+    return their (JSON-serializable) values in the same order — the
+    batched NumPy engines evaluate the whole list in a few broadcast
+    passes.  Cache lookups happen in one :meth:`ResultCache.get_many`
+    pass per grid and new results land through one
+    :meth:`ResultCache.put_many` batch (single fsync).
+    """
+    work = list(items)
+    if cache is None:
+        cache = default_cache()
+    if cache is None:
+        return batch_fn(work)
+    keys = [key_fn(item) for item in work]
+    hashes = [config_hash(key) for key in keys]
+    results = cache.get_many(hashes)
+    missing = [i for i, value in enumerate(results) if value is None]
+    computed = batch_fn([work[i] for i in missing])
+    if len(computed) != len(missing):
+        raise ValueError(
+            f"batch_fn returned {len(computed)} values for "
+            f"{len(missing)} items")
+    cache.put_many((hashes[i], keys[i], value)
+                   for i, value in zip(missing, computed))
+    for index, value in zip(missing, computed):
         results[index] = value
     return results

@@ -24,9 +24,13 @@ all-to-all islands of ``chips_per_node`` chips under a cross-node ring
 (see :mod:`repro.arch.interconnect`).  Rows report both the exposed
 (critical-path) and total communication time.
 
-Every design point runs in its own worker process with one JSON cache
-entry per point (:func:`repro.experiments.runner.cached_sweep`), so
-growing the swept set only computes the new combinations.
+The sweep is fully analytic, so it runs in-process through the batched
+closed-form engine (:func:`repro.training.sharded_step_batch` via
+:func:`repro.experiments.runner.cached_batch`): cache lookups resolve
+in one pass per grid, every miss is priced in a few NumPy broadcast
+passes, and results persist with one JSON entry per point — growing
+the swept set still only computes the new combinations.  The
+per-point scalar :func:`evaluate_point` remains as the pinned oracle.
 
 Run it from the CLI::
 
@@ -130,6 +134,56 @@ def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
     }
 
 
+def evaluate_points_batched(points: list[tuple]) -> list[dict]:
+    """Batched-engine evaluation of :func:`evaluate_point` work tuples.
+
+    One :func:`repro.training.sharded_step_batch` call prices the whole
+    grid (shared shard evaluations, vectorized collectives); the rows
+    are value-identical to the per-point scalar path, which stays as
+    the pinned oracle in the test suite.
+    """
+    from repro.training.batch import sharded_step_batch
+
+    if not points:
+        return []
+    (models, chips, algorithms, modes, topologies, bases, overlaps,
+     buckets, nodes, clamped) = map(list, zip(*points))
+    global_batches = [base * n if mode == "weak" else base
+                      for base, n, mode in zip(bases, chips, modes)]
+    result = sharded_step_batch(
+        models, algorithms, global_batches, chips,
+        topologies=topologies, bucket_bytes=buckets,
+        chips_per_node=[cpn if topo == "hierarchical" else 1
+                        for cpn, topo in zip(nodes, topologies)],
+        overlaps=overlaps)
+    rows = []
+    for i, point in enumerate(points):
+        (model, n, algorithm, mode, topology, _, overlap, bucket_bytes,
+         chips_per_node, batch_clamped) = point
+        rows.append({
+            "model": model,
+            "algorithm": algorithm,
+            "mode": mode,
+            "topology": topology,
+            "chips": n,
+            "chips_per_node": chips_per_node,
+            "overlap": overlap,
+            "bucket_mb": (bucket_bytes / 2**20
+                          if bucket_bytes is not None else None),
+            "global_batch": global_batches[i],
+            "batch_clamped": batch_clamped,
+            "local_batch": int(result.local_batch[i]),
+            "step_ms": float(result.total_seconds[i]) * 1e3,
+            "compute_ms": float(result.compute_seconds[i]) * 1e3,
+            "comm_ms": float(result.comm_seconds[i]) * 1e3,
+            "comm_total_ms": float(result.comm_total_seconds[i]) * 1e3,
+            "comm_hidden_ms": float(result.comm_hidden_seconds[i]) * 1e3,
+            "comm_fraction": float(result.comm_fraction[i]),
+            "link_mb_per_chip": int(result.link_bytes[i]) / 1e6,
+        })
+    return rows
+
+
 def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     chips: tuple[int, ...] = DEFAULT_CHIPS,
@@ -202,8 +256,13 @@ def run(
                 work.append((model, n, algorithm, mode, topology, base,
                              overlap, bucket_bytes, chips_per_node,
                              clamped))
-    return runner.cached_sweep(
-        evaluate_point, work, star=True, jobs=jobs, cache=cache,
+    # The sweep is fully analytic, so it goes through the in-process
+    # batched engine (one vectorized evaluation of every cache miss)
+    # rather than the process pool; `jobs` is accepted for API
+    # stability but the batched path needs no workers.
+    del jobs
+    return runner.cached_batch(
+        evaluate_points_batched, work, cache=cache,
         key_fn=lambda point: {"experiment": "scaling",
                               "model": point[0], "chips": point[1],
                               "algorithm": point[2], "mode": point[3],

@@ -11,6 +11,12 @@ isolates *scheduling* effects under a fixed privacy regime.
 Run it from the CLI::
 
     python -m repro serve --trace-jobs 200 --chips 4 --policy sjf
+    python -m repro serve --jobs 1000000          # streaming simulator
+
+Traces of 10k+ jobs automatically stream through the array-backed
+simulator (vectorized trace + batched admission + P² metrics, see
+``docs/performance.md``); ``--streaming`` / ``--no-streaming`` forces
+the choice.
 """
 
 from __future__ import annotations
@@ -27,6 +33,9 @@ from repro.experiments.report import format_table
 DEFAULT_EPSILON_BUDGET = 3.0
 DEFAULT_DELTA = 1e-5
 
+#: Trace length at which ``run`` switches to the streaming simulator.
+STREAMING_THRESHOLD = 10_000
+
 
 def run(
     policies: tuple[str, ...] | None = None,
@@ -40,16 +49,26 @@ def run(
     overlap: bool = True,
     epsilon_budget: float = DEFAULT_EPSILON_BUDGET,
     delta: float = DEFAULT_DELTA,
+    streaming: bool | None = None,
     cache: "runner.ResultCache | None" = None,
 ) -> list[dict]:
     """One row (fleet-report summary dict) per scheduling policy.
 
     ``policies=None`` compares every policy in
     :data:`repro.serve.scheduler.POLICIES`.  Every policy replays the
-    *same* trace against a fresh admission controller; step latencies
-    are memoized across policies (and persisted when a cache is
-    given), so the sweep costs one set of closed-form simulations
-    regardless of policy count.
+    *same* trace; step latencies are memoized across policies (and
+    persisted when a cache is given), so the sweep costs one set of
+    closed-form simulations regardless of policy count.
+
+    ``streaming`` picks the simulator: the record-keeping
+    :func:`~repro.serve.simulate_fleet` (exact percentiles, per-job
+    records) or the array-backed
+    :func:`~repro.serve.simulate_fleet_streaming` (vectorized trace +
+    admission, O(1) metric memory — million-job traces run in
+    seconds).  ``None`` (default) streams from
+    :data:`STREAMING_THRESHOLD` jobs up.  The streaming path shares
+    one admission pass across policies — admission happens at arrival
+    and is therefore policy-invariant.
     """
     from repro.serve import (
         AdmissionController,
@@ -57,7 +76,9 @@ def run(
         TenantBudget,
         TraceConfig,
         generate_trace,
+        generate_trace_arrays,
         simulate_fleet,
+        simulate_fleet_streaming,
     )
     from repro.serve.scheduler import POLICIES
 
@@ -65,11 +86,25 @@ def run(
         policies = POLICIES
     if not policies:
         raise ValueError("policies must name at least one policy")
-    trace = generate_trace(TraceConfig(jobs=trace_jobs, seed=seed))
+    if streaming is None:
+        streaming = trace_jobs >= STREAMING_THRESHOLD
+    config = TraceConfig(jobs=trace_jobs, seed=seed)
     fleet = FleetConfig(chips=chips, chips_per_cluster=chips_per_cluster,
                         topology=topology, chips_per_node=chips_per_node,
                         bucket_bytes=bucket_bytes, overlap=overlap)
     rows = []
+    if streaming:
+        trace = generate_trace_arrays(config)
+        admission = AdmissionController(
+            TenantBudget(epsilon=epsilon_budget, delta=delta))
+        decisions = admission.admit_batch(trace)
+        for policy in policies:
+            report = simulate_fleet_streaming(
+                trace, fleet, policy=policy, admission=admission,
+                decisions=decisions, cache=cache)
+            rows.append(report.to_dict())
+        return rows
+    trace = generate_trace(config)
     for policy in policies:
         admission = AdmissionController(
             TenantBudget(epsilon=epsilon_budget, delta=delta))

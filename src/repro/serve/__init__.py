@@ -12,18 +12,22 @@ from repro.serve.budget import (
     AdmissionController,
     AdmissionDecision,
     AdmissionStatus,
+    BatchAdmissionDecisions,
     TenantBudget,
 )
 from repro.serve.job import (
     JOB_ALGORITHMS,
+    TraceArrays,
     TraceConfig,
     TrainingJob,
     generate_trace,
+    generate_trace_arrays,
 )
 from repro.serve.metrics import (
     FleetReport,
     TenantUsage,
     build_report,
+    build_streaming_report,
     percentile,
 )
 from repro.serve.scheduler import (
@@ -31,25 +35,36 @@ from repro.serve.scheduler import (
     FleetConfig,
     JobRecord,
     predict_step_seconds,
+    predict_step_seconds_batch,
     simulate_fleet,
+    simulate_fleet_streaming,
 )
+from repro.serve.stream import P2Quantile, StreamingStats
 
 __all__ = [
     "JOB_ALGORITHMS",
     "TrainingJob",
     "TraceConfig",
+    "TraceArrays",
     "generate_trace",
+    "generate_trace_arrays",
     "TenantBudget",
     "AdmissionStatus",
     "AdmissionDecision",
     "AdmissionController",
+    "BatchAdmissionDecisions",
     "POLICIES",
     "FleetConfig",
     "JobRecord",
     "predict_step_seconds",
+    "predict_step_seconds_batch",
     "simulate_fleet",
+    "simulate_fleet_streaming",
     "FleetReport",
     "TenantUsage",
     "build_report",
+    "build_streaming_report",
     "percentile",
+    "P2Quantile",
+    "StreamingStats",
 ]

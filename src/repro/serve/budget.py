@@ -21,6 +21,7 @@ truncation is allowed, and rejected outright otherwise.
 from __future__ import annotations
 
 import enum
+import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
@@ -28,11 +29,16 @@ import numpy as np
 
 from repro.dpml.accountant import (
     DEFAULT_ORDERS,
+    _single_step_rdp,
     compute_rdp,
     max_steps_for_budget,
     rdp_to_epsilon,
 )
-from repro.serve.job import TrainingJob
+from repro.serve.job import TraceArrays, TrainingJob
+
+#: Jobs per chunk of the batched admission prefix pass — bounds the
+#: cumulative-RDP scratch matrix regardless of trace length.
+_ADMIT_CHUNK = 1024
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,34 @@ class AdmissionDecision:
     @property
     def admitted(self) -> bool:
         return self.status is not AdmissionStatus.REJECTED
+
+
+@dataclass(frozen=True)
+class BatchAdmissionDecisions:
+    """Struct-of-arrays outcome of :meth:`AdmissionController.admit_batch`.
+
+    ``status`` uses the integer codes below; ``epsilon_after`` is the
+    tenant's cumulative spend once the job's grant is reserved (the
+    scalar decision's ``epsilon_after``), which the streaming
+    scheduler's budget policy reads as the tenant's position at each
+    arrival.
+    """
+
+    ADMITTED = 0
+    TRUNCATED = 1
+    REJECTED = 2
+
+    status: np.ndarray
+    granted_steps: np.ndarray
+    epsilon_after: np.ndarray
+
+    def __len__(self) -> int:
+        return self.status.shape[0]
+
+    @property
+    def admitted(self) -> np.ndarray:
+        """Mask of jobs that received any grant."""
+        return self.status != self.REJECTED
 
 
 class AdmissionController:
@@ -182,3 +216,229 @@ class AdmissionController:
               else "truncated"] += 1
         return AdmissionDecision(
             status, granted, spent_after - spent_before, spent_after)
+
+    # -- batched (trace-at-once) admission -----------------------------------
+
+    def admit_batch(self, trace: TraceArrays) -> "BatchAdmissionDecisions":
+        """Decide a whole trace at once, decision-identical to
+        :meth:`admit`.
+
+        Ledger updates are inherently sequential within a tenant (each
+        grant changes the RDP base every later decision sees), but two
+        regimes vectorize: runs of *full admits* resolve through a
+        chunked prefix-cumulative RDP pass (each prefix row is exactly
+        the ledger the scalar path would have held), and runs of
+        *rejections* — the steady state once a tenant's budget is
+        exhausted — never touch the ledger, so a whole run classifies
+        against one fixed base in a single pass over the distinct
+        ``(sampling rate, sigma, steps)`` mechanism shapes.  Only
+        truncations (rare: each one pushes the tenant to the budget
+        edge) fall back to the scalar binary search.  Every
+        floating-point expression repeats the scalar path's operation
+        order, so the decisions (and the final per-tenant ledgers and
+        tallies) are identical, not merely close.
+
+        Updates this controller's ledger/tally state exactly as the
+        equivalent sequence of :meth:`admit` calls would.
+        """
+        n = len(trace)
+        status = np.full(n, BatchAdmissionDecisions.REJECTED,
+                         dtype=np.int8)
+        granted = np.zeros(n, dtype=np.int64)
+        eps_after = np.zeros(n, dtype=float)
+        if n == 0:
+            return BatchAdmissionDecisions(status, granted, eps_after)
+
+        is_private = trace.is_private
+        pairs = np.stack([trace.sampling_rate, trace.noise_multiplier],
+                         axis=1)
+        unique_pairs, class_of = np.unique(pairs, axis=0,
+                                           return_inverse=True)
+        per_step_table = np.stack([
+            np.array(_single_step_rdp(float(q), float(sigma), self.orders))
+            for q, sigma in unique_pairs])
+
+        # Tenants register in first-arrival order (scalar setdefault).
+        _, first_seen = np.unique(trace.tenant, return_index=True)
+        for code in trace.tenant[np.sort(first_seen)].tolist():
+            self._admit_tenant_batch(
+                trace, int(code), is_private, class_of, per_step_table,
+                status, granted, eps_after)
+        return BatchAdmissionDecisions(status, granted, eps_after)
+
+    def _admit_tenant_batch(
+        self, trace: TraceArrays, code: int, is_private: np.ndarray,
+        class_of: np.ndarray, per_step_table: np.ndarray,
+        status: np.ndarray, granted: np.ndarray, eps_after: np.ndarray,
+    ) -> None:
+        """Replay one tenant's jobs (arrival order) against its ledger."""
+        name = trace.tenants[code]
+        tally = self._counts.setdefault(
+            name, {"admitted": 0, "truncated": 0, "rejected": 0})
+        budget = self.budget_for(name)
+        target = budget.epsilon
+        log_term = math.log(1.0 / budget.delta) / (
+            np.array(self.orders) - 1.0)
+
+        jobs = np.nonzero(trace.tenant == code)[0]
+        total = len(jobs)
+        private = is_private[jobs]
+        steps = trace.steps[jobs]
+        classes = class_of[jobs]
+        base = self._rdp.get(name)
+        ledger = (np.zeros(len(self.orders)) if base is None
+                  else np.asarray(base, dtype=float))
+
+        def eps_of(rdp: np.ndarray) -> float:
+            """Scalar ``epsilon`` of one RDP curve (the rdp_to_epsilon
+            formula, with its all-zero special case)."""
+            if not np.any(rdp):
+                return 0.0
+            return float(np.min(rdp + log_term))
+
+        spent = eps_of(ledger)
+        admitted_code = BatchAdmissionDecisions.ADMITTED
+        rejected_code = BatchAdmissionDecisions.REJECTED
+
+        def resolve_fixed(lo: int, hi: int) -> None:
+            """Jobs [lo, hi) under an unchanged ledger: private ->
+            rejected, non-private -> admitted."""
+            seg = jobs[lo:hi]
+            mask = private[lo:hi]
+            status[seg[~mask]] = admitted_code
+            granted[seg[~mask]] = steps[lo:hi][~mask]
+            eps_after[seg] = spent
+            tally["rejected"] += int(mask.sum())
+            tally["admitted"] += int((~mask).sum())
+
+        pos = 0
+        while pos < total:
+            if spent > target:
+                # Scalar guard: eps(0) already overshoots, nothing
+                # private ever fits again.
+                resolve_fixed(pos, total)
+                return
+
+            # -- A: maximal run of sequential full admits ------------------
+            blocked = -1
+            while pos < total and blocked < 0:
+                hi = min(pos + _ADMIT_CHUNK, total)
+                chunk_priv = pos + np.nonzero(private[pos:hi])[0]
+                if chunk_priv.size == 0:
+                    seg = jobs[pos:hi]
+                    status[seg] = admitted_code
+                    granted[seg] = steps[pos:hi]
+                    eps_after[seg] = spent
+                    tally["admitted"] += hi - pos
+                    pos = hi
+                    continue
+                increments = (steps[chunk_priv, None]
+                              * per_step_table[classes[chunk_priv]])
+                # Left-associated prefix sums: row j is bitwise the
+                # ledger the scalar path holds after fully granting
+                # the first j+1 private jobs of the chunk.
+                cumulative = np.cumsum(
+                    np.concatenate([ledger[None, :], increments]),
+                    axis=0)[1:]
+                eps_cum = np.min(cumulative + log_term, axis=1)
+                eps_cum = np.where(np.any(cumulative, axis=1),
+                                   eps_cum, 0.0)
+                over = eps_cum > target
+                fits = int(np.argmax(over)) if over.any() \
+                    else len(chunk_priv)
+                stop = int(chunk_priv[fits]) if fits < len(chunk_priv) \
+                    else hi
+                spent_at_start = spent
+                span = np.arange(pos, stop)
+                mask = private[pos:stop]
+                if fits > 0:
+                    admitted_priv = chunk_priv[:fits]
+                    pj = jobs[admitted_priv]
+                    status[pj] = admitted_code
+                    granted[pj] = steps[admitted_priv]
+                    eps_after[pj] = eps_cum[:fits]
+                    tally["admitted"] += fits
+                    ledger = cumulative[fits - 1]
+                    self._rdp[name] = ledger
+                    spent = float(eps_cum[fits - 1])
+                nj = jobs[span[~mask]]
+                status[nj] = admitted_code
+                granted[nj] = steps[span[~mask]]
+                if fits > 0:
+                    before = np.searchsorted(chunk_priv[:fits],
+                                             span[~mask])
+                    eps_after[nj] = np.where(
+                        before > 0,
+                        eps_cum[np.maximum(before - 1, 0)],
+                        spent_at_start)
+                else:
+                    eps_after[nj] = spent_at_start
+                tally["admitted"] += int((~mask).sum())
+                pos = stop
+                if fits < len(chunk_priv):
+                    blocked = stop
+            if blocked < 0:
+                return
+
+            # -- B: the blocked private job: truncate or reject ------------
+            job = int(jobs[blocked])
+            per_step = per_step_table[int(classes[blocked])]
+            want = int(steps[blocked])
+            if self.allow_truncation and \
+                    eps_of(ledger + 1 * per_step) <= target:
+                low, high = 0, want  # eps(low) <= target < eps(high)
+                while high - low > 1:
+                    mid = (low + high) // 2
+                    if eps_of(ledger + mid * per_step) <= target:
+                        low = mid
+                    else:
+                        high = mid
+                ledger = ledger + low * per_step
+                self._rdp[name] = ledger
+                spent = eps_of(ledger)
+                status[job] = BatchAdmissionDecisions.TRUNCATED
+                granted[job] = low
+                eps_after[job] = spent
+                tally["truncated"] += 1
+                pos = blocked + 1
+                continue
+            status[job] = rejected_code
+            eps_after[job] = spent
+            tally["rejected"] += 1
+            pos = blocked + 1
+            if pos >= total:
+                return
+
+            # -- C: fixed-ledger scan to the next eligible private job -----
+            remaining = np.arange(pos, total)
+            rem_priv = remaining[private[pos:]]
+            if rem_priv.size == 0:
+                seg = jobs[pos:]
+                status[seg] = admitted_code
+                granted[seg] = steps[pos:]
+                eps_after[seg] = spent
+                tally["admitted"] += total - pos
+                return
+            keys = np.stack([classes[rem_priv], steps[rem_priv]], axis=1)
+            unique_keys, inverse = np.unique(keys, axis=0,
+                                             return_inverse=True)
+            rdp_full = (ledger + unique_keys[:, 1][:, None]
+                        * per_step_table[unique_keys[:, 0]])
+            eps_full = np.where(
+                np.any(rdp_full, axis=1),
+                np.min(rdp_full + log_term, axis=1), 0.0)
+            ok_full = eps_full[inverse] <= target
+            unique_classes = np.unique(classes[rem_priv])
+            rdp_one = ledger + 1 * per_step_table[unique_classes]
+            eps_one = np.where(
+                np.any(rdp_one, axis=1),
+                np.min(rdp_one + log_term, axis=1), 0.0)
+            ok_one = eps_one[np.searchsorted(
+                unique_classes, classes[rem_priv])] <= target
+            eligible = ok_full | (self.allow_truncation & ok_one)
+            next_eligible = (int(rem_priv[np.argmax(eligible)])
+                             if eligible.any() else total)
+            resolve_fixed(pos, next_eligible)
+            pos = next_eligible
+            # The loop re-enters regime A (full admit) or B (truncate)
+            # for the eligible job under the unchanged ledger.

@@ -23,6 +23,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Algorithms a job may request; non-private SGD bypasses admission.
 JOB_ALGORITHMS = ("SGD", "DP-SGD", "DP-SGD(R)")
 
@@ -168,3 +170,127 @@ def generate_trace(config: TraceConfig = TraceConfig()
             arrival_s=clock,
         ))
     return tuple(jobs)
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """A job trace as a struct of NumPy arrays (one entry per job).
+
+    The memory-flat counterpart of a ``tuple[TrainingJob, ...]`` —
+    ~50 bytes per job instead of a Python object graph — consumed by
+    the streaming fleet simulator
+    (:func:`repro.serve.scheduler.simulate_fleet_streaming`) and the
+    batched admission controller.  ``tenant`` / ``model`` /
+    ``algorithm`` are indices into the ``tenants`` / ``models`` /
+    ``algorithms`` vocabularies; job ids are implicit array positions
+    and arrivals are nondecreasing.
+    """
+
+    tenants: tuple[str, ...]
+    models: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    arrival_s: np.ndarray
+    tenant: np.ndarray
+    model: np.ndarray
+    algorithm: np.ndarray
+    batch: np.ndarray
+    steps: np.ndarray
+    noise_multiplier: np.ndarray
+    dataset_size: np.ndarray
+
+    def __len__(self) -> int:
+        return self.arrival_s.shape[0]
+
+    @property
+    def is_private(self) -> np.ndarray:
+        """Boolean mask of jobs that draw on a privacy budget."""
+        sgd = np.array([name == "SGD" for name in self.algorithms])
+        return ~sgd[self.algorithm]
+
+    @property
+    def sampling_rate(self) -> np.ndarray:
+        """Per-job Poisson sampling rate ``min(1, batch / dataset)``."""
+        return np.minimum(1.0, self.batch / self.dataset_size)
+
+    @classmethod
+    def from_jobs(cls, jobs: "tuple[TrainingJob, ...] | list[TrainingJob]"
+                  ) -> "TraceArrays":
+        """Convert a materialized job tuple (ordered by arrival)."""
+        jobs = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        tenants = tuple(dict.fromkeys(j.tenant for j in jobs))
+        models = tuple(dict.fromkeys(j.model for j in jobs))
+        algorithms = tuple(dict.fromkeys(j.algorithm for j in jobs))
+        tenant_idx = {name: i for i, name in enumerate(tenants)}
+        model_idx = {name: i for i, name in enumerate(models)}
+        algo_idx = {name: i for i, name in enumerate(algorithms)}
+        return cls(
+            tenants=tenants, models=models, algorithms=algorithms,
+            arrival_s=np.array([j.arrival_s for j in jobs], dtype=float),
+            tenant=np.array([tenant_idx[j.tenant] for j in jobs],
+                            dtype=np.int32),
+            model=np.array([model_idx[j.model] for j in jobs],
+                           dtype=np.int32),
+            algorithm=np.array([algo_idx[j.algorithm] for j in jobs],
+                               dtype=np.int32),
+            batch=np.array([j.batch for j in jobs], dtype=np.int64),
+            steps=np.array([j.steps for j in jobs], dtype=np.int64),
+            noise_multiplier=np.array(
+                [j.noise_multiplier for j in jobs], dtype=float),
+            dataset_size=np.array([j.dataset_size for j in jobs],
+                                  dtype=np.int64),
+        )
+
+    def jobs(self) -> tuple[TrainingJob, ...]:
+        """Materialize :class:`TrainingJob` objects (small traces only)."""
+        return tuple(
+            TrainingJob(
+                job_id=i,
+                tenant=self.tenants[self.tenant[i]],
+                model=self.models[self.model[i]],
+                algorithm=self.algorithms[self.algorithm[i]],
+                batch=int(self.batch[i]),
+                steps=int(self.steps[i]),
+                noise_multiplier=float(self.noise_multiplier[i]),
+                dataset_size=int(self.dataset_size[i]),
+                arrival_s=float(self.arrival_s[i]),
+            )
+            for i in range(len(self))
+        )
+
+
+def generate_trace_arrays(config: TraceConfig = TraceConfig()
+                          ) -> TraceArrays:
+    """Vectorized synthetic trace generation, straight into arrays.
+
+    One NumPy pass per job attribute — Poisson arrivals are a
+    ``cumsum`` over exponential inter-arrival draws, the job mix is a
+    weighted categorical draw — so million-job traces generate in
+    tens of milliseconds at a flat ~50 bytes/job.  Deterministic in
+    ``config.seed`` (PCG64), though the stream differs from the
+    scalar :func:`generate_trace` (different RNG); both are seeded,
+    deterministic samplers of the same configured mix.
+    """
+    rng = np.random.default_rng(config.seed)
+    jobs = config.jobs
+    weights = np.asarray(config.algorithm_weights, dtype=float)
+    return TraceArrays(
+        tenants=config.tenants,
+        models=tuple(config.models),
+        algorithms=tuple(config.algorithms),
+        arrival_s=np.cumsum(
+            rng.exponential(config.mean_interarrival_s, jobs)),
+        tenant=rng.integers(0, config.n_tenants, jobs, dtype=np.int32),
+        model=rng.integers(0, len(config.models), jobs, dtype=np.int32),
+        algorithm=rng.choice(
+            len(config.algorithms), size=jobs,
+            p=weights / weights.sum()).astype(np.int32),
+        batch=rng.choice(np.asarray(config.batches, dtype=np.int64),
+                         size=jobs),
+        steps=rng.integers(config.steps_range[0],
+                           config.steps_range[1] + 1, jobs,
+                           dtype=np.int64),
+        noise_multiplier=rng.choice(
+            np.asarray(config.noise_multipliers, dtype=float), size=jobs),
+        dataset_size=rng.choice(
+            np.asarray(config.dataset_sizes, dtype=np.int64), size=jobs),
+    )

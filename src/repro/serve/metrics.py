@@ -136,6 +136,67 @@ def render_tenant_table(tenants: Sequence[TenantUsage]) -> str:
         rows, title="Per-tenant privacy budget")
 
 
+def tenant_usages(admission: "AdmissionController"
+                  ) -> tuple[TenantUsage, ...]:
+    """Per-tenant budget positions from the admission ledger."""
+    return tuple(
+        TenantUsage(
+            tenant=name,
+            budget_epsilon=admission.budget_for(name).epsilon,
+            delta=admission.budget_for(name).delta,
+            epsilon_spent=admission.epsilon_spent(name),
+            **admission.counts(name),
+        )
+        for name in sorted(admission.seen_tenants())
+    )
+
+
+def build_streaming_report(
+    policy: str,
+    chips: int,
+    n_clusters: int,
+    chips_per_cluster: int,
+    *,
+    submitted: int,
+    completed: int,
+    truncated: int,
+    rejected: int,
+    makespan_s: float,
+    busy_s: float,
+    waits: "object",
+    admission: "AdmissionController",
+) -> FleetReport:
+    """Fold streaming accumulators into a :class:`FleetReport`.
+
+    The O(1)-memory counterpart of :func:`build_report`: ``waits`` is
+    the scheduler's :class:`~repro.serve.stream.StreamingStats` over
+    queueing delays (its percentiles are exact for small traces, P²
+    estimates past the warmup), and no per-job records are attached.
+    """
+    utilization = (busy_s / (n_clusters * makespan_s)) \
+        if makespan_s > 0 else 0.0
+    throughput = (completed / makespan_s * 3600.0) if makespan_s > 0 \
+        else 0.0
+    return FleetReport(
+        policy=policy,
+        chips=chips,
+        n_clusters=n_clusters,
+        chips_per_cluster=chips_per_cluster,
+        submitted=submitted,
+        completed=completed,
+        truncated=truncated,
+        rejected=rejected,
+        makespan_s=makespan_s,
+        throughput_jobs_per_h=throughput,
+        utilization=utilization,
+        wait_p50_s=waits.quantile(0.5),
+        wait_p95_s=waits.quantile(0.95),
+        wait_p99_s=waits.quantile(0.99),
+        tenants=tenant_usages(admission),
+        records=(),
+    )
+
+
 def build_report(
     policy: str,
     chips: int,
@@ -151,16 +212,7 @@ def build_report(
     busy = sum(r.service_s for r in finished)
     utilization = (busy / (n_clusters * makespan)) if makespan > 0 else 0.0
     throughput = (len(finished) / makespan * 3600.0) if makespan > 0 else 0.0
-    tenants = tuple(
-        TenantUsage(
-            tenant=name,
-            budget_epsilon=admission.budget_for(name).epsilon,
-            delta=admission.budget_for(name).delta,
-            epsilon_spent=admission.epsilon_spent(name),
-            **admission.counts(name),
-        )
-        for name in sorted(admission.seen_tenants())
-    )
+    tenants = tenant_usages(admission)
     return FleetReport(
         policy=policy,
         chips=chips,

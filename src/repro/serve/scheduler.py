@@ -35,15 +35,27 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
 
+import numpy as np
+
 from repro.arch.interconnect import InterconnectConfig
 from repro.experiments import runner
-from repro.serve.budget import AdmissionController, AdmissionDecision
-from repro.serve.job import TrainingJob
-from repro.serve.metrics import FleetReport, build_report
+from repro.serve.budget import (
+    AdmissionController,
+    AdmissionDecision,
+    BatchAdmissionDecisions,
+)
+from repro.serve.job import TraceArrays, TrainingJob
+from repro.serve.metrics import (
+    FleetReport,
+    build_report,
+    build_streaming_report,
+)
+from repro.serve.stream import StreamingStats
 
 #: Scheduling policies simulate_fleet understands.
 POLICIES = ("fifo", "sjf", "budget")
@@ -243,5 +255,213 @@ def simulate_fleet(
         n_clusters=fleet.n_clusters,
         chips_per_cluster=fleet.chips_per_cluster,
         records=records,
+        admission=admission,
+    )
+
+
+def predict_step_seconds_batch(
+    fleet: FleetConfig,
+    models: Sequence[str],
+    algorithms: Sequence[str],
+    batches: Sequence[int],
+    cache: "runner.ResultCache | None" = None,
+) -> np.ndarray:
+    """Step latencies for many (model, algorithm, batch) configs at once.
+
+    The batched counterpart of :func:`predict_step_seconds`: one
+    :func:`repro.training.sharded_step_batch` call prices every
+    cache-missing config (``batches`` must already be rounded to the
+    cluster width).  Cache keys are identical to the scalar path's, so
+    the two share persisted entries — and the values are identical
+    too, because the batched engine is pinned bitwise-equal to the
+    scalar simulator.
+    """
+    from repro.training.batch import sharded_step_batch
+
+    work = list(zip(models, algorithms, batches))
+
+    def price(missing: list) -> list:
+        if not missing:
+            return []
+        miss_models, miss_algorithms, miss_batches = zip(*missing)
+        result = sharded_step_batch(
+            list(miss_models), list(miss_algorithms),
+            np.array(miss_batches, dtype=np.int64),
+            fleet.chips_per_cluster,
+            topologies=fleet.topology,
+            bucket_bytes=fleet.bucket_bytes,
+            chips_per_node=(fleet.chips_per_node
+                            if fleet.topology == "hierarchical" else 1),
+            overlaps=fleet.overlap, kinds=fleet.kind)
+        return [float(value) for value in result.total_seconds]
+
+    seconds = runner.cached_batch(
+        price, work, cache=cache,
+        key_fn=lambda item: {
+            "experiment": "serve-step", "kind": fleet.kind,
+            "chips_per_cluster": fleet.chips_per_cluster,
+            "topology": fleet.topology,
+            "chips_per_node": fleet.chips_per_node,
+            "bucket_bytes": fleet.bucket_bytes,
+            "overlap": fleet.overlap, "model": item[0],
+            "algorithm": item[1], "batch": int(item[2])})
+    return np.array(seconds, dtype=float)
+
+
+def _job_service_seconds(
+    trace: TraceArrays,
+    decisions: BatchAdmissionDecisions,
+    fleet: FleetConfig,
+    cache: "runner.ResultCache | None" = None,
+) -> np.ndarray:
+    """Per-job service times from one batched service-time table.
+
+    Builds the (model, algorithm, rounded-batch) table with a single
+    batched evaluation over the trace's unique configurations, then
+    gathers ``granted_steps x step latency`` per job.
+    """
+    width = fleet.chips_per_cluster
+    rounded = np.ceil(trace.batch / width).astype(np.int64) * width
+    configs = np.stack([trace.model, trace.algorithm, rounded], axis=1)
+    unique, inverse = np.unique(configs, axis=0, return_inverse=True)
+    table = predict_step_seconds_batch(
+        fleet,
+        [trace.models[int(row[0])] for row in unique],
+        [trace.algorithms[int(row[1])] for row in unique],
+        unique[:, 2].tolist(),
+        cache=cache)
+    return decisions.granted_steps * table[inverse]
+
+
+def simulate_fleet_streaming(
+    trace: TraceArrays,
+    fleet: FleetConfig = FleetConfig(),
+    *,
+    policy: str = "fifo",
+    admission: AdmissionController | None = None,
+    decisions: BatchAdmissionDecisions | None = None,
+    cache: "runner.ResultCache | None" = None,
+) -> FleetReport:
+    """Replay an array trace on ``fleet`` with O(1) metric memory.
+
+    The million-job counterpart of :func:`simulate_fleet`: admission
+    decides the whole trace in one batched pass (decision-identical to
+    the scalar controller), service times come from one precomputed
+    batched step-latency table, the event loop walks the arrival
+    arrays directly (the completion heap never exceeds the cluster
+    count), and metrics fold into streaming accumulators — no per-job
+    record list is ever materialized, so the report's ``records`` are
+    empty and the wait percentiles are exact below the warmup size and
+    P² estimates beyond it.
+
+    Pass ``decisions`` to reuse one admission pass across policies
+    (admission happens at arrival, so it is policy-invariant); the
+    ``admission`` controller must then be the one that produced them.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; "
+                         f"choose from {POLICIES}")
+    if admission is None:
+        admission = AdmissionController()
+    if decisions is None:
+        decisions = admission.admit_batch(trace)
+    service = _job_service_seconds(trace, decisions, fleet, cache=cache)
+
+    total = len(trace)
+    arrival = trace.arrival_s
+    admitted = decisions.admitted
+    granted = decisions.granted_steps
+    n_tenants = len(trace.tenants)
+    # The budget policy reads each tenant's remaining fraction at
+    # dispatch time; spend only moves at arrivals, so tracking the
+    # decision stream's epsilon_after reproduces the scalar ledger.
+    tenant_spent = np.zeros(n_tenants)
+    budget_eps = np.array([admission.budget_for(name).epsilon
+                           for name in trace.tenants], dtype=float)
+
+    fifo: deque[int] = deque()
+    sjf_heap: list[tuple[float, float, int]] = []
+    tenant_queues: list[deque[int]] = [deque() for _ in range(n_tenants)]
+    queued = 0
+
+    def push(job: int) -> None:
+        nonlocal queued
+        queued += 1
+        if policy == "fifo":
+            fifo.append(job)
+        elif policy == "sjf":
+            heapq.heappush(sjf_heap,
+                           (service[job], arrival[job], job))
+        else:
+            tenant_queues[trace.tenant[job]].append(job)
+
+    def pop() -> int:
+        nonlocal queued
+        queued -= 1
+        if policy == "fifo":
+            return fifo.popleft()
+        if policy == "sjf":
+            return heapq.heappop(sjf_heap)[2]
+        best = None
+        best_key = None
+        for tenant, backlog in enumerate(tenant_queues):
+            if not backlog:
+                continue
+            head = backlog[0]
+            remaining = max(0.0, 1.0 - tenant_spent[tenant]
+                            / budget_eps[tenant])
+            key = (-remaining, arrival[head], head)
+            if best_key is None or key < best_key:
+                best, best_key = tenant, key
+        return tenant_queues[best].popleft()
+
+    waits = StreamingStats()
+    completions: list[float] = []
+    idle = fleet.n_clusters
+    busy_s = 0.0
+    finished = 0
+    truncated = 0
+    makespan = 0.0
+    index = 0
+
+    while index < total or completions:
+        # Arrivals win ties, as in the event-heap scalar scheduler.
+        if completions and (index >= total
+                            or completions[0] < arrival[index]):
+            now = heapq.heappop(completions)
+            idle += 1
+        else:
+            job = index
+            now = arrival[job]
+            index += 1
+            tenant_spent[trace.tenant[job]] = \
+                decisions.epsilon_after[job]
+            if admitted[job]:
+                push(job)
+        while idle and queued:
+            job = pop()
+            idle -= 1
+            waits.add(now - arrival[job])
+            finish = now + service[job]
+            heapq.heappush(completions, finish)
+            busy_s += service[job]
+            finished += 1
+            if granted[job] < trace.steps[job]:
+                truncated += 1
+            if finish > makespan:
+                makespan = finish
+
+    return build_streaming_report(
+        policy=policy,
+        chips=fleet.chips,
+        n_clusters=fleet.n_clusters,
+        chips_per_cluster=fleet.chips_per_cluster,
+        submitted=total,
+        completed=finished,
+        truncated=truncated,
+        rejected=int((~admitted).sum()),
+        makespan_s=makespan,
+        busy_s=busy_s,
+        waits=waits,
         admission=admission,
     )

@@ -13,15 +13,24 @@ from repro.training.phases import (
     PHASE_ORDER,
     Phase,
 )
+from repro.training.batch import (
+    ShardedStepBatch,
+    StepBatch,
+    sharded_step_batch,
+    training_step_batch,
+)
 from repro.training.plan import bottleneck_gemms, phase_gemms
 from repro.training.simulate import (
     ClusterTrainingReport,
+    GemmOp,
     TrainingReport,
     allreduce_payload_bytes,
     overlappable_backward_cycles,
     simulate_sharded_training_step,
     simulate_training_step,
     stage_utilization,
+    step_gemm_ops,
+    step_vector_runs,
 )
 
 __all__ = [
@@ -43,4 +52,11 @@ __all__ = [
     "simulate_training_step",
     "simulate_sharded_training_step",
     "stage_utilization",
+    "GemmOp",
+    "step_gemm_ops",
+    "step_vector_runs",
+    "StepBatch",
+    "ShardedStepBatch",
+    "training_step_batch",
+    "sharded_step_batch",
 ]

@@ -1,0 +1,369 @@
+"""Batched closed-form evaluation of training steps over config grids.
+
+The scalar drivers (:func:`repro.training.simulate.simulate_training_step`
+and :func:`~repro.training.simulate.simulate_sharded_training_step`)
+pay a Python round trip per GEMM and per design point.  This module
+evaluates the *same* analytic model over a struct-of-arrays grid of
+configurations — workload x chips x bucket_bytes x topology x DP mode —
+in a few NumPy broadcast passes:
+
+* :func:`training_step_batch` prices a list of single-chip step specs
+  by collecting every GEMM of every spec into one flat array per
+  engine, deduplicating shapes, and pushing them through
+  :func:`repro.arch.batch.gemm_stats_batch`; the handful of vector-unit
+  kernels per spec reuse the scalar
+  :func:`~repro.training.simulate.step_vector_runs` directly (they are
+  O(1) per spec and sharing the code path guarantees equality).
+* :func:`sharded_step_batch` adds the vectorized collective model of
+  :mod:`repro.arch.batch` (bucketing, topology, overlap exposure) on
+  top, reusing one shard evaluation for every grid point that shares a
+  ``(kind, model, algorithm, local batch)``.
+
+Both are pinned cycle- and seconds-identical to the scalar drivers by
+the equivalence tests in ``tests/test_batch_step.py`` — every
+floating-point expression repeats the scalar operation order, so the
+results are bitwise equal, not merely close.  The ``scaling`` and
+``design-space`` experiments and the fleet simulator's service-time
+table (:mod:`repro.serve.scheduler`) run their grids through this
+module; the process-pool runner remains for non-analytic work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.batch import (
+    allreduce_seconds_batch,
+    first_bucket_seconds_batch,
+    gemm_stats_batch,
+    link_bytes_per_chip_batch,
+    n_buckets_batch,
+    topology_codes,
+)
+from repro.training.algorithms import Algorithm
+from repro.training.phases import Phase
+from repro.training.simulate import (
+    GRAD_BYTES,
+    step_gemm_ops,
+    step_vector_runs,
+)
+from repro.workloads.model import Network
+
+#: Fixed phase axis of the batched per-phase cycle matrices.
+STEP_PHASES: tuple[Phase, ...] = tuple(Phase)
+_PHASE_INDEX = {phase: i for i, phase in enumerate(STEP_PHASES)}
+
+
+@dataclass(frozen=True)
+class StepBatch:
+    """Per-phase cycle matrix of a batch of single-chip training steps.
+
+    ``phase_cycles[u, p]`` is spec ``u``'s cycle charge in phase
+    ``STEP_PHASES[p]`` (zero for phases the algorithm does not touch) —
+    exactly the :class:`~repro.training.simulate.TrainingReport` phase
+    sums of the scalar driver.
+    """
+
+    phase_cycles: np.ndarray
+    frequency_hz: np.ndarray
+
+    def __len__(self) -> int:
+        return self.phase_cycles.shape[0]
+
+    @property
+    def total_cycles(self) -> np.ndarray:
+        return self.phase_cycles.sum(axis=1)
+
+    @property
+    def total_seconds(self) -> np.ndarray:
+        return self.total_cycles / self.frequency_hz
+
+    def cycles_of(self, phase: Phase) -> np.ndarray:
+        return self.phase_cycles[:, _PHASE_INDEX[phase]]
+
+
+#: One single-chip step specification for :func:`training_step_batch`.
+StepSpec = "tuple[Accelerator, Network, Algorithm, int]"
+
+
+def training_step_batch(specs: Sequence[tuple]) -> StepBatch:
+    """Price single-chip training steps, batching all GEMMs per engine.
+
+    ``specs`` is a sequence of ``(accelerator, network, algorithm,
+    batch)`` tuples; accelerator objects may repeat (and sharing them
+    across specs lets the evaluator group their GEMMs into one
+    vectorized pass).  Returns per-phase cycle sums identical to
+    running :func:`simulate_training_step` per spec.
+    """
+    specs = list(specs)
+    matrix = np.zeros((len(specs), len(STEP_PHASES)), dtype=np.int64)
+    frequency = np.array([accel.frequency_hz for accel, *_ in specs],
+                         dtype=float)
+
+    groups: dict[int, tuple[Accelerator, list[tuple]]] = {}
+    for index, (accel, network, algorithm, batch) in enumerate(specs):
+        runs = step_vector_runs(network, algorithm, accel, batch)
+        for phase, run in runs.items():
+            matrix[index, _PHASE_INDEX[phase]] += run.cycles
+        _, ops = groups.setdefault(id(accel), (accel, []))
+        for op in step_gemm_ops(network, algorithm, accel, batch):
+            ops.append((index, _PHASE_INDEX[op.phase],
+                        op.gemm.m, op.gemm.k, op.gemm.n, op.gemm.count,
+                        op.write_output, op.fuse_norm))
+
+    for accel, ops in groups.values():
+        if not ops:
+            continue
+        (spec_idx, phase_idx, m, k, n, count, write_out,
+         fuse) = (np.array(col) for col in zip(*ops))
+        shapes = np.stack([m, k, n], axis=1)
+        unique, inverse = np.unique(shapes, axis=0, return_inverse=True)
+        stats = gemm_stats_batch(
+            accel.engine, unique[:, 0], unique[:, 1], unique[:, 2], 1)
+        compute = stats.compute_cycles[inverse] * count
+
+        input_bytes = accel.config.input_bytes
+        acc_bytes = accel.config.acc_bytes
+        dram_read = (m * k + k * n) * count * input_bytes
+        out_bytes = m * n * count * acc_bytes
+        dram_write = np.where(write_out, out_bytes, 0)
+        if fuse.any():
+            # Mirrors Accelerator.run_gemm's fuse_norm path: the
+            # per-GEMM PPU flush is compute-exposed and one norm scalar
+            # per GEMM goes off-chip alongside any persisted outputs.
+            flush = accel.ppu.flush_cycles()
+            compute = compute + np.where(fuse, flush * count, 0)
+            dram_write = np.where(fuse, count * acc_bytes + dram_write,
+                                  dram_write)
+
+        total_bytes = dram_read + dram_write
+        transfer = np.where(
+            total_bytes > 0,
+            np.ceil(total_bytes / accel.memory.bytes_per_cycle)
+            .astype(np.int64) + accel.memory.config.access_latency_cycles,
+            0)
+        np.add.at(matrix, (spec_idx, phase_idx),
+                  np.maximum(compute, transfer))
+
+    return StepBatch(phase_cycles=matrix, frequency_hz=frequency)
+
+
+@dataclass(frozen=True)
+class ShardedStepBatch:
+    """Struct-of-arrays result of :func:`sharded_step_batch`.
+
+    One entry per grid point; field semantics match
+    :class:`~repro.training.simulate.ClusterTrainingReport` (``comm``
+    cycles are the exposed critical-path charge, ``comm_total`` the
+    full wire time, their difference the overlap-hidden remainder).
+    """
+
+    n_chips: np.ndarray
+    global_batch: np.ndarray
+    frequency_hz: np.ndarray
+    shard_cycles: np.ndarray
+    comm_cycles: np.ndarray
+    comm_total_cycles: np.ndarray
+    link_bytes: np.ndarray
+
+    def __len__(self) -> int:
+        return self.n_chips.shape[0]
+
+    @property
+    def local_batch(self) -> np.ndarray:
+        return self.global_batch // self.n_chips
+
+    @property
+    def total_cycles(self) -> np.ndarray:
+        return self.shard_cycles + self.comm_cycles
+
+    @property
+    def total_seconds(self) -> np.ndarray:
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def compute_seconds(self) -> np.ndarray:
+        return self.shard_cycles / self.frequency_hz
+
+    @property
+    def comm_seconds(self) -> np.ndarray:
+        """Exposed (critical-path) collective seconds."""
+        return self.comm_cycles / self.frequency_hz
+
+    @property
+    def comm_total_seconds(self) -> np.ndarray:
+        return self.comm_total_cycles / self.frequency_hz
+
+    @property
+    def comm_hidden_seconds(self) -> np.ndarray:
+        return (self.comm_total_cycles
+                - self.comm_cycles) / self.frequency_hz
+
+    @property
+    def comm_fraction(self) -> np.ndarray:
+        total = self.total_cycles
+        return np.divide(self.comm_cycles, total, where=total != 0,
+                         out=np.zeros(len(self), dtype=float))
+
+
+def _broadcast_column(value, length: int, dtype=None) -> np.ndarray:
+    array = np.asarray(value, dtype=dtype)
+    if array.ndim == 0:
+        array = array[None]
+    return np.broadcast_to(array, (length,)).copy()
+
+
+def sharded_step_batch(
+    models: Sequence[str],
+    algorithms,
+    global_batches,
+    chips,
+    *,
+    topologies="ring",
+    bucket_bytes=None,
+    chips_per_node=1,
+    overlaps=True,
+    kinds="diva",
+    config=None,
+    link_bandwidth_bytes_per_s: float = 100e9,
+    link_latency_s: float = 1e-6,
+) -> ShardedStepBatch:
+    """Price data-parallel sharded training steps over a config grid.
+
+    Every argument broadcasts against ``models`` (scalars apply to the
+    whole grid); ``bucket_bytes`` uses ``None``/``0`` for one
+    monolithic bucket and ``config`` is an optional shared
+    :class:`~repro.core.config.DivaConfig` applied to every point.
+    Returns quantities identical to running
+    :func:`simulate_sharded_training_step` per point — the shard is
+    evaluated once per distinct ``(kind, model, algorithm, local
+    batch)`` and the collective model runs fully vectorized.
+    """
+    from repro.core import build_accelerator
+    from repro.workloads import build_model
+
+    models = list(models)
+    length = len(models)
+    algorithm_names = [
+        a.value if isinstance(a, Algorithm) else str(a)
+        for a in (algorithms if not isinstance(algorithms, (str, Algorithm))
+                  else [algorithms] * length)]
+    if len(algorithm_names) == 1 and length > 1:
+        algorithm_names = algorithm_names * length
+    kind_names = [kinds] * length if isinstance(kinds, str) else list(kinds)
+    topology_names = ([topologies] * length if isinstance(topologies, str)
+                      else list(topologies))
+    global_batch = _broadcast_column(global_batches, length, np.int64)
+    n_chips = _broadcast_column(chips, length, np.int64)
+    cpn = _broadcast_column(chips_per_node, length, np.int64)
+    bucket = _broadcast_column(
+        0 if bucket_bytes is None else
+        [0 if b is None else b for b in bucket_bytes]
+        if not np.isscalar(bucket_bytes) else bucket_bytes,
+        length, np.int64)
+    overlap = _broadcast_column(overlaps, length, bool)
+    if not (len(algorithm_names) == len(kind_names)
+            == len(topology_names) == length):
+        raise ValueError("grid columns must broadcast to one length")
+
+    topo = topology_codes(topology_names)
+    if (global_batch <= 0).any():
+        raise ValueError("global batches must be positive")
+    if (global_batch % n_chips).any():
+        bad = int(np.argmax(global_batch % n_chips != 0))
+        raise ValueError(
+            f"global batch {int(global_batch[bad])} does not divide "
+            f"evenly across {int(n_chips[bad])} chips")
+    hier = topo == topology_codes(["hierarchical"])[0]
+    lopsided = hier & (n_chips > 1) & (n_chips % np.maximum(cpn, 1) != 0)
+    if lopsided.any():
+        bad = int(np.argmax(lopsided))
+        raise ValueError(
+            f"{int(n_chips[bad])} chips do not group into hierarchical "
+            f"nodes of {int(cpn[bad])}")
+    # Flat topologies ignore chips_per_node in the scalar model only
+    # because InterconnectConfig rejects it; mirror that contract.
+    if ((~hier) & (cpn != 1)).any():
+        raise ValueError(
+            "chips_per_node is only meaningful for the 'hierarchical' "
+            "topology")
+
+    local_batch = global_batch // n_chips
+    networks: dict[str, Network] = {}
+    accels: dict[str, Accelerator] = {}
+    shard_keys: list[tuple] = []
+    shard_index = np.empty(length, dtype=np.int64)
+    key_to_index: dict[tuple, int] = {}
+    for i in range(length):
+        key = (kind_names[i], models[i], algorithm_names[i],
+               int(local_batch[i]))
+        index = key_to_index.get(key)
+        if index is None:
+            index = len(shard_keys)
+            key_to_index[key] = index
+            shard_keys.append(key)
+        shard_index[i] = index
+
+    specs = []
+    for kind, model, algorithm, batch in shard_keys:
+        accel = accels.get(kind)
+        if accel is None:
+            accel = accels[kind] = build_accelerator(kind, config=config)
+        network = networks.get(model)
+        if network is None:
+            network = networks[model] = build_model(model)
+        specs.append((accel, network, Algorithm(algorithm), batch))
+    step = training_step_batch(specs)
+
+    shard_cycles = step.total_cycles[shard_index]
+    frequency = step.frequency_hz[shard_index]
+    private = np.array([Algorithm(a).is_private for a in algorithm_names])
+    params = np.array([networks[m].params for m in models], dtype=np.int64)
+    # Which backward phase the gradient allreduce may hide behind
+    # (overlappable_backward_cycles): the clipping pass under DP-SGD,
+    # the per-batch weight-gradient GEMMs otherwise.
+    dpsgd = np.array([Algorithm(a) is Algorithm.DP_SGD
+                      for a in algorithm_names])
+    clip = step.cycles_of(Phase.BWD_GRAD_CLIP)[shard_index]
+    batch_grad = step.cycles_of(Phase.BWD_BATCH_GRAD)[shard_index]
+    overlappable = np.where(dpsgd, clip, batch_grad)
+
+    grad_payload = params * GRAD_BYTES
+    norm_payload = global_batch * GRAD_BYTES
+    comm_args = (n_chips, topo, bucket, cpn)
+    kwargs = {"bandwidth": link_bandwidth_bytes_per_s,
+              "latency": link_latency_s}
+    grad_s = allreduce_seconds_batch(grad_payload, *comm_args, **kwargs)
+    norm_s = allreduce_seconds_batch(norm_payload, *comm_args, **kwargs)
+    total_s = grad_s + np.where(private, norm_s, 0.0)
+    wire = link_bytes_per_chip_batch(grad_payload, *comm_args)
+    wire = wire + np.where(
+        private, link_bytes_per_chip_batch(norm_payload, *comm_args), 0)
+
+    # Overlap exposure: only the gradient-sum allreduce hides behind
+    # backward compute; the norm-bookkeeping collective stays serial.
+    buckets = np.maximum(n_buckets_batch(grad_payload, bucket), 1)
+    window_s = ((overlappable / frequency) * (buckets - 1)) / buckets
+    exposed_grad_s = np.maximum(
+        first_bucket_seconds_batch(grad_payload, *comm_args, **kwargs),
+        grad_s - window_s)
+    exposed_s = np.where(overlap & (n_chips > 1),
+                         exposed_grad_s + (total_s - grad_s), total_s)
+
+    comm_total_cycles = np.ceil(total_s * frequency).astype(np.int64)
+    comm_cycles = np.minimum(
+        np.ceil(exposed_s * frequency).astype(np.int64), comm_total_cycles)
+
+    return ShardedStepBatch(
+        n_chips=n_chips,
+        global_batch=global_batch,
+        frequency_hz=frequency,
+        shard_cycles=shard_cycles,
+        comm_cycles=comm_cycles,
+        comm_total_cycles=comm_total_cycles,
+        link_bytes=wire,
+    )

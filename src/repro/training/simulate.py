@@ -256,15 +256,6 @@ def _embedding_elems(network: Network, batch: int) -> int:
     )
 
 
-def _run_gemms(accel: Accelerator, gemms: list[Gemm],
-               write_output: bool = True, fuse_norm: bool = False) -> OpRun:
-    total = OpRun.zero()
-    for gemm in gemms:
-        total = total + accel.run_gemm(
-            gemm, write_output=write_output, fuse_norm=fuse_norm)
-    return total
-
-
 def _elementwise(accel: Accelerator, elems: int,
                  ops_per_elem: float = 1.0) -> OpRun:
     """Vector-unit pass over ``elems`` values with a DRAM round trip."""
@@ -278,44 +269,41 @@ def _elementwise(accel: Accelerator, elems: int,
     )
 
 
-def simulate_training_step(
+@dataclass(frozen=True)
+class GemmOp:
+    """One GEMM of a training step, with its execution options.
+
+    The declarative form of a :meth:`Accelerator.run_gemm` call —
+    shared by the scalar driver (which executes it directly) and the
+    batched evaluator (:mod:`repro.training.batch`, which prices whole
+    grids of them in a few NumPy passes).
+    """
+
+    phase: Phase
+    gemm: Gemm
+    write_output: bool = True
+    fuse_norm: bool = False
+
+
+def step_gemm_ops(
     network: Network,
     algorithm: Algorithm,
-    accelerator: "Accelerator | Cluster",
+    accelerator: Accelerator,
     batch: int,
-    *,
-    overlap: bool = True,
-) -> "TrainingReport | ClusterTrainingReport":
-    """Simulate one training step and return the per-phase report.
+) -> list[GemmOp]:
+    """The GEMM operations of one training step, in schedule order.
 
-    Passing a :class:`~repro.arch.cluster.Cluster` dispatches to
-    :func:`simulate_sharded_training_step` with ``batch`` as the global
-    mini-batch, returning a :class:`ClusterTrainingReport`; ``overlap``
-    only matters on that path (single-chip steps have no collectives).
+    Encodes the per-phase execution options of the Figure 6 schedules:
+    per-example weight-gradient GEMMs spill only when the algorithm
+    stores the gradients or the dataflow cannot forward them
+    (``write_output``), and norm derivation fuses into the drain when
+    the design has a matched PPU (``fuse_norm``) — see
+    :func:`simulate_training_step` for the modeling rationale.
     """
-    if isinstance(accelerator, Cluster):
-        return simulate_sharded_training_step(
-            network, algorithm, accelerator, batch, overlap=overlap)
     plan = phase_gemms(network, algorithm, batch)
-    fuse = accelerator.can_fuse_norm
-    gemm_params = network.gemm_params
-    vector_params = network.vector_grad_params
-    all_params = network.params
-    act_elems = _vector_path_elems(network, batch)
-    phases: dict[Phase, OpRun] = {}
-
-    # -- forward -------------------------------------------------------------
-    fwd = _run_gemms(accelerator, plan[Phase.FWD])
-    fwd = fwd + _elementwise(accelerator, act_elems)
-    phases[Phase.FWD] = fwd
-
-    # -- activation gradients, 1st pass ---------------------------------------
-    bwd_act = _run_gemms(accelerator, plan[Phase.BWD_ACT_1])
-    bwd_act = bwd_act + _elementwise(accelerator, act_elems)
-    phases[Phase.BWD_ACT_1] = bwd_act
-
+    ops = [GemmOp(Phase.FWD, g) for g in plan[Phase.FWD]]
+    ops += [GemmOp(Phase.BWD_ACT_1, g) for g in plan[Phase.BWD_ACT_1]]
     if algorithm.is_private:
-        # -- per-example weight gradients -------------------------------------
         # Plain DP-SGD must keep the gradients for clipping.  Under
         # DP-SGD(R) the gradients exist only for norm derivation:
         # an output-stationary drain forwards them on the fly (to the
@@ -324,8 +312,45 @@ def simulate_training_step(
         # (Figure 10).
         os_drain = accelerator.engine.dataflow == "output_stationary"
         write_grads = algorithm.stores_example_gradients or not os_drain
-        example = _run_gemms(accelerator, plan[Phase.BWD_EXAMPLE_GRAD],
-                             write_output=write_grads, fuse_norm=fuse)
+        fuse = accelerator.can_fuse_norm
+        ops += [GemmOp(Phase.BWD_EXAMPLE_GRAD, g,
+                       write_output=write_grads, fuse_norm=fuse)
+                for g in plan[Phase.BWD_EXAMPLE_GRAD]]
+    if algorithm is Algorithm.DP_SGD_R:
+        ops += [GemmOp(Phase.BWD_ACT_2, g) for g in plan[Phase.BWD_ACT_2]]
+    if algorithm in (Algorithm.DP_SGD_R, Algorithm.SGD):
+        ops += [GemmOp(Phase.BWD_BATCH_GRAD, g)
+                for g in plan[Phase.BWD_BATCH_GRAD]]
+    return ops
+
+
+def step_vector_runs(
+    network: Network,
+    algorithm: Algorithm,
+    accelerator: Accelerator,
+    batch: int,
+) -> dict[Phase, OpRun]:
+    """Non-GEMM (vector / element-wise) work of one step, per phase.
+
+    Executes the vector-unit kernels of every phase the step touches
+    and returns them keyed by phase — phases whose work is GEMM-only
+    carry a zero :class:`OpRun` so the mapping's key set is exactly the
+    step's phase set.  Adding each phase's :func:`step_gemm_ops` GEMMs
+    on top reconstitutes the full report (OpRun addition commutes).
+    """
+    fuse = accelerator.can_fuse_norm
+    gemm_params = network.gemm_params
+    vector_params = network.vector_grad_params
+    all_params = network.params
+    act_elems = _vector_path_elems(network, batch)
+    phases: dict[Phase, OpRun] = {}
+
+    phases[Phase.FWD] = _elementwise(accelerator, act_elems)
+    phases[Phase.BWD_ACT_1] = _elementwise(accelerator, act_elems)
+
+    if algorithm.is_private:
+        os_drain = accelerator.engine.dataflow == "output_stationary"
+        example = OpRun.zero()
         if vector_params:
             # Dense materialization of embedding / norm-affine
             # per-example gradients (vector path on every design).
@@ -385,22 +410,49 @@ def simulate_training_step(
             accelerator, all_params)
 
     elif algorithm is Algorithm.DP_SGD_R:
-        # -- second backpropagation pass --------------------------------------
-        act2 = _run_gemms(accelerator, plan[Phase.BWD_ACT_2])
-        act2 = act2 + _elementwise(accelerator, act_elems)
         # Reweighting the loss gradients by the clip scales is a tiny
-        # per-example scale.
-        act2 = act2 + accelerator.run_vector(batch)
-        phases[Phase.BWD_ACT_2] = act2
-        phases[Phase.BWD_BATCH_GRAD] = _run_gemms(
-            accelerator, plan[Phase.BWD_BATCH_GRAD])
+        # per-example scale riding with the second backward pass.
+        phases[Phase.BWD_ACT_2] = (_elementwise(accelerator, act_elems)
+                                   + accelerator.run_vector(batch))
+        phases[Phase.BWD_BATCH_GRAD] = OpRun.zero()
         phases[Phase.BWD_REDUCE_NOISE] = _noise_and_update(
             accelerator, all_params)
 
     else:  # non-private SGD
-        phases[Phase.BWD_BATCH_GRAD] = _run_gemms(
-            accelerator, plan[Phase.BWD_BATCH_GRAD])
+        phases[Phase.BWD_BATCH_GRAD] = OpRun.zero()
         phases[Phase.BWD_REDUCE_NOISE] = _update_only(accelerator, all_params)
+
+    return phases
+
+
+def simulate_training_step(
+    network: Network,
+    algorithm: Algorithm,
+    accelerator: "Accelerator | Cluster",
+    batch: int,
+    *,
+    overlap: bool = True,
+) -> "TrainingReport | ClusterTrainingReport":
+    """Simulate one training step and return the per-phase report.
+
+    Passing a :class:`~repro.arch.cluster.Cluster` dispatches to
+    :func:`simulate_sharded_training_step` with ``batch`` as the global
+    mini-batch, returning a :class:`ClusterTrainingReport`; ``overlap``
+    only matters on that path (single-chip steps have no collectives).
+
+    The step decomposes into :func:`step_gemm_ops` (the GEMM schedule)
+    plus :func:`step_vector_runs` (everything the vector unit does);
+    :func:`repro.training.batch.training_step_batch` evaluates the same
+    decomposition over whole config grids in NumPy and is pinned
+    cycle-identical to this driver.
+    """
+    if isinstance(accelerator, Cluster):
+        return simulate_sharded_training_step(
+            network, algorithm, accelerator, batch, overlap=overlap)
+    phases = step_vector_runs(network, algorithm, accelerator, batch)
+    for op in step_gemm_ops(network, algorithm, accelerator, batch):
+        phases[op.phase] = phases[op.phase] + accelerator.run_gemm(
+            op.gemm, write_output=op.write_output, fuse_norm=op.fuse_norm)
 
     return TrainingReport(
         network=network.name,

@@ -12,7 +12,35 @@ from repro.dpml import (
     Sequential,
     synthetic_classification,
 )
+from repro.dpml.microbatch import clipped_grad_sum, clipped_grad_sum_loop
 from repro.experiments import gemm_sweep
+
+
+class TestClippedGradSum:
+    """The stacked einsum/tensordot contraction vs its loop oracle."""
+
+    @pytest.mark.parametrize("shape", [(1, 3), (8, 5), (16, 4, 6),
+                                       (32, 2, 3, 4)])
+    def test_matches_loop_oracle(self, shape):
+        rng = np.random.default_rng(7)
+        per_example = rng.normal(size=shape)
+        scales = rng.uniform(0.1, 1.0, size=shape[0])
+        np.testing.assert_allclose(
+            clipped_grad_sum(per_example, scales),
+            clipped_grad_sum_loop(per_example, scales),
+            rtol=1e-12, atol=1e-12)
+
+    def test_matches_broadcast_reduce(self):
+        # The pre-vectorization formulation (materialize B x params,
+        # then reduce) — kept as a second oracle.
+        rng = np.random.default_rng(3)
+        per_example = rng.normal(size=(24, 6, 5))
+        scales = rng.uniform(0.0, 2.0, size=24)
+        reference = (per_example
+                     * scales.reshape(24, 1, 1)).sum(axis=0)
+        np.testing.assert_allclose(
+            clipped_grad_sum(per_example, scales), reference,
+            rtol=1e-12, atol=1e-12)
 
 
 def _net(seed=0):

@@ -142,6 +142,59 @@ class TestResultCache:
                                    key_fn=lambda x: x,
                                    cache=None, parallel=False) == [4, 9]
 
+    def test_put_many_roundtrip_and_single_batch(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        entries = [(f"h{i}", {"k": i}, i * 10) for i in range(5)]
+        cache.put_many(entries)
+        assert cache.get_many([h for h, _, _ in entries]) == \
+            [0, 10, 20, 30, 40]
+        # Entries stay debuggable (key persisted alongside the value).
+        payload = json.loads(cache.path("h3").read_text())
+        assert payload["key"] == {"k": 3}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_put_many_empty_is_noop(self, tmp_path):
+        cache = runner.ResultCache(tmp_path / "never-created")
+        cache.put_many([])
+        assert not (tmp_path / "never-created").exists()
+
+    def test_put_many_failure_leaves_no_temp_files(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.put_many([("ok", {"k": 1}, 1),
+                            ("bad", {"k": 2}, object())])
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_cached_batch_computes_only_misses(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        calls = []
+
+        def batch_fn(items):
+            calls.append(list(items))
+            return [x * 10 for x in items]
+
+        key_fn = lambda x: {"item": x}  # noqa: E731
+        first = runner.cached_batch(batch_fn, [1, 2], key_fn=key_fn,
+                                    cache=cache)
+        assert first == [10, 20]
+        second = runner.cached_batch(batch_fn, [1, 2, 3], key_fn=key_fn,
+                                     cache=cache)
+        assert second == [10, 20, 30]
+        # One batched call per grid, covering only the misses.
+        assert calls == [[1, 2], [3]]
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_cached_batch_without_cache_calls_through(self):
+        assert runner.cached_batch(
+            lambda items: [x + 1 for x in items], [1, 2],
+            key_fn=lambda x: x, cache=None) == [2, 3]
+
+    def test_cached_batch_rejects_wrong_length(self, tmp_path):
+        cache = runner.ResultCache(tmp_path)
+        with pytest.raises(ValueError, match="batch_fn returned"):
+            runner.cached_batch(lambda items: [], [1],
+                                key_fn=lambda x: x, cache=cache)
+
     def test_concurrent_writers_never_tear(self, tmp_path):
         """Hammer one entry from many threads while reading it back:
         every read must observe a complete payload (old or new), never

@@ -1,0 +1,235 @@
+"""Streaming serve path: array traces, batched admission, P² metrics.
+
+Equivalence contract: on traces the scalar simulator can afford, the
+streaming path must reproduce its decisions and counts *exactly*
+(admission is decision-identical by construction) and its percentiles
+exactly below the warmup buffer; only aggregate floats accumulated in
+a different order (utilization) get a tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    AdmissionController,
+    FleetConfig,
+    P2Quantile,
+    StreamingStats,
+    TenantBudget,
+    TraceArrays,
+    TraceConfig,
+    generate_trace,
+    generate_trace_arrays,
+    percentile,
+    simulate_fleet,
+    simulate_fleet_streaming,
+)
+from repro.serve.budget import BatchAdmissionDecisions
+
+_STATUS_CODE = {"admitted": BatchAdmissionDecisions.ADMITTED,
+                "truncated": BatchAdmissionDecisions.TRUNCATED,
+                "rejected": BatchAdmissionDecisions.REJECTED}
+
+
+class TestTraceArrays:
+    def test_round_trip_preserves_jobs(self):
+        trace = generate_trace(TraceConfig(jobs=40, seed=3))
+        assert TraceArrays.from_jobs(trace).jobs() == trace
+
+    def test_generate_deterministic_and_shaped(self):
+        config = TraceConfig(jobs=500, seed=11)
+        a = generate_trace_arrays(config)
+        b = generate_trace_arrays(config)
+        assert len(a) == 500
+        np.testing.assert_array_equal(a.arrival_s, b.arrival_s)
+        np.testing.assert_array_equal(a.steps, b.steps)
+        assert (np.diff(a.arrival_s) >= 0).all()
+        assert set(np.unique(a.batch)) <= set(config.batches)
+        lo, hi = config.steps_range
+        assert a.steps.min() >= lo and a.steps.max() <= hi
+
+    def test_seed_changes_stream(self):
+        a = generate_trace_arrays(TraceConfig(jobs=100, seed=1))
+        b = generate_trace_arrays(TraceConfig(jobs=100, seed=2))
+        assert not np.array_equal(a.arrival_s, b.arrival_s)
+
+    def test_empty(self):
+        assert len(generate_trace_arrays(TraceConfig(jobs=0))) == 0
+
+    def test_private_mask_and_sampling_rate(self):
+        trace = generate_trace(TraceConfig(jobs=30, seed=5))
+        arrays = TraceArrays.from_jobs(trace)
+        for i, job in enumerate(trace):
+            assert bool(arrays.is_private[i]) == job.is_private
+            assert float(arrays.sampling_rate[i]) == job.sampling_rate
+
+
+class TestBatchAdmission:
+    @pytest.mark.parametrize("epsilon,truncation", [
+        (3.0, True),      # demo regime: admits, truncations, rejections
+        (3.0, False),     # rejection instead of truncation
+        (0.005, True),    # budget below the conversion floor: all reject
+        (1000.0, True),   # everything admitted in full
+    ])
+    def test_decisions_identical_to_sequential(self, epsilon, truncation):
+        trace = generate_trace(TraceConfig(jobs=150, seed=7))
+        arrays = TraceArrays.from_jobs(trace)
+        sequential = AdmissionController(TenantBudget(epsilon=epsilon),
+                                         allow_truncation=truncation)
+        expected = [sequential.admit(job) for job in trace]
+        batched = AdmissionController(TenantBudget(epsilon=epsilon),
+                                      allow_truncation=truncation)
+        result = batched.admit_batch(arrays)
+        for i, decision in enumerate(expected):
+            assert int(result.status[i]) == \
+                _STATUS_CODE[decision.status.value], (i, trace[i])
+            assert int(result.granted_steps[i]) == decision.granted_steps
+            assert float(result.epsilon_after[i]) == decision.epsilon_after
+        assert sequential.seen_tenants() == batched.seen_tenants()
+        for tenant in sequential.seen_tenants():
+            assert sequential.counts(tenant) == batched.counts(tenant)
+            assert sequential.epsilon_spent(tenant) == \
+                batched.epsilon_spent(tenant)
+
+    def test_empty_trace(self):
+        controller = AdmissionController()
+        result = controller.admit_batch(
+            generate_trace_arrays(TraceConfig(jobs=0)))
+        assert len(result) == 0
+
+
+class TestStreamingQuantiles:
+    def test_exact_below_warmup(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([np.zeros(150), rng.exponential(5.0, 350)])
+        rng.shuffle(data)
+        stats = StreamingStats()
+        for value in data:
+            stats.add(float(value))
+        for pct in (0.5, 0.95, 0.99):
+            assert stats.quantile(pct) == percentile(list(data), pct * 100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6), zero_frac=st.floats(0.0, 0.8))
+    def test_p2_within_tolerance_past_warmup(self, seed, zero_frac):
+        rng = np.random.default_rng(seed)
+        total = 20_000
+        zeros = int(total * zero_frac)
+        data = np.concatenate([np.zeros(zeros),
+                               rng.exponential(10.0, total - zeros)])
+        rng.shuffle(data)
+        stats = StreamingStats()
+        for value in data:
+            stats.add(float(value))
+        scale = float(np.max(data))
+        for pct in (0.5, 0.95, 0.99):
+            exact = percentile(list(data), pct * 100)
+            estimate = stats.quantile(pct)
+            # 5% of the stream's range covers the stationary-stream
+            # P² error with a wide margin.
+            assert abs(estimate - exact) <= 0.05 * scale + 1e-12
+
+    def test_p2_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+    def test_mean_and_extremes(self):
+        stats = StreamingStats()
+        for value in (0.0, 1.0, 3.0):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.maximum == 3.0
+        assert stats.mean == pytest.approx(4.0 / 3.0)
+
+
+class TestStreamingFleetEquivalence:
+    @pytest.mark.parametrize("policy", ("fifo", "sjf", "budget"))
+    def test_matches_scalar_simulator(self, policy):
+        trace = generate_trace(TraceConfig(jobs=120, seed=7))
+        arrays = TraceArrays.from_jobs(trace)
+        fleet = FleetConfig(chips=4, chips_per_cluster=2)
+        scalar = simulate_fleet(
+            trace, fleet, policy=policy,
+            admission=AdmissionController(TenantBudget(epsilon=3.0)))
+        streaming = simulate_fleet_streaming(
+            arrays, fleet, policy=policy,
+            admission=AdmissionController(TenantBudget(epsilon=3.0)))
+        a, b = scalar.to_dict(), streaming.to_dict()
+        # busy time accumulates in dispatch order instead of record
+        # order, so utilization may differ in the last ulp.
+        assert b.pop("utilization") == pytest.approx(
+            a.pop("utilization"), rel=1e-12)
+        assert b.pop("throughput_jobs_per_h") == pytest.approx(
+            a.pop("throughput_jobs_per_h"), rel=1e-12)
+        assert b.pop("makespan_s") == pytest.approx(
+            a.pop("makespan_s"), rel=1e-12)
+        assert a == b
+        assert streaming.records == ()
+
+    def test_empty_trace(self):
+        report = simulate_fleet_streaming(
+            generate_trace_arrays(TraceConfig(jobs=0)),
+            FleetConfig(chips=2))
+        assert report.submitted == 0
+        assert report.completed == 0
+        assert report.makespan_s == 0.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            simulate_fleet_streaming(
+                generate_trace_arrays(TraceConfig(jobs=0)),
+                policy="priority")
+
+    def test_decisions_reused_across_policies(self):
+        arrays = generate_trace_arrays(TraceConfig(jobs=200, seed=9))
+        admission = AdmissionController(TenantBudget(epsilon=3.0))
+        decisions = admission.admit_batch(arrays)
+        reports = [
+            simulate_fleet_streaming(arrays, FleetConfig(chips=2),
+                                     policy=policy, admission=admission,
+                                     decisions=decisions)
+            for policy in ("fifo", "sjf", "budget")
+        ]
+        ledgers = [[t.to_dict() for t in r.tenants] for r in reports]
+        assert ledgers[0] == ledgers[1] == ledgers[2]
+        assert len({r.completed for r in reports}) == 1
+
+    def test_service_times_match_scalar_prediction(self):
+        from repro.serve import predict_step_seconds_batch
+        from repro.serve.scheduler import predict_step_seconds
+
+        fleet = FleetConfig(chips=4, chips_per_cluster=2,
+                            bucket_bytes=2**20)
+        trace = generate_trace(TraceConfig(jobs=25, seed=3))
+        batches = [job.batch for job in trace]
+        batched = predict_step_seconds_batch(
+            fleet, [job.model for job in trace],
+            [job.algorithm for job in trace],
+            [-(-batch // 2) * 2 for batch in batches])
+        for i, job in enumerate(trace):
+            assert float(batched[i]) == predict_step_seconds(fleet, job)
+
+
+class TestServeExperimentStreaming:
+    def test_streaming_run_smoke(self):
+        from repro.experiments import serve as serve_experiment
+
+        rows = serve_experiment.run(policies=("fifo",), trace_jobs=300,
+                                    chips=2, streaming=True)
+        assert len(rows) == 1
+        assert rows[0]["submitted"] == 300
+        assert rows[0]["completed"] + rows[0]["rejected"] == 300
+        text = serve_experiment.render(rows)
+        assert "Policy" in text
+
+    def test_auto_threshold_prefers_scalar_for_small_traces(self):
+        from repro.experiments import serve as serve_experiment
+
+        scalar_rows = serve_experiment.run(policies=("fifo",),
+                                           trace_jobs=20, chips=2)
+        explicit = serve_experiment.run(policies=("fifo",),
+                                        trace_jobs=20, chips=2,
+                                        streaming=False)
+        assert scalar_rows == explicit

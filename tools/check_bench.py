@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard over the ``BENCH_*.json`` throughput records.
+
+The benchmark modules persist machine-local throughput records at the
+repo root (``BENCH_gemm_sweep.json``, ``BENCH_scaling.json``,
+``BENCH_serve.json``).  This checker reads whichever records exist and
+fails (exit 1) if any recorded throughput falls below its conservative
+floor — an order of magnitude under what a stock CI runner measures, so
+only a real regression (e.g. the batched engine silently falling back
+to a scalar loop, or the streaming scheduler re-growing per-job lists)
+trips it, not runner-to-runner noise.
+
+Run after the benchmarks::
+
+    python -m pytest benchmarks/bench_gemm_sweep.py benchmarks/bench_scaling.py \
+        benchmarks/bench_serve.py -q
+    python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Conservative floors — see module docstring for the calibration idea.
+GEMM_OPS_PER_SEC_FLOOR = 2_000.0
+SCALING_POINTS_PER_SEC_FLOOR = 2.0
+BATCHED_VS_POOL_SPEEDUP_FLOOR = 5.0
+#: Small traces are dominated by fixed setup (service table, RDP
+#: curves), so they get a lower floor than the million-job point where
+#: per-job throughput is the signal.
+SERVE_JOBS_PER_SEC_FLOOR_SMALL = 2_000.0
+SERVE_JOBS_PER_SEC_FLOOR = 10_000.0
+
+
+def _load(name: str) -> dict | None:
+    path = ROOT / name
+    if not path.exists():
+        print(f"check_bench: {name} missing, skipped")
+        return None
+    return json.loads(path.read_text())
+
+
+def check_gemm(failures: list[str]) -> None:
+    record = _load("BENCH_gemm_sweep.json")
+    if record is None:
+        return
+    for engine, stats in record.get("engines", {}).items():
+        rate = stats.get("ops_per_sec", 0.0)
+        if rate < GEMM_OPS_PER_SEC_FLOOR:
+            failures.append(
+                f"gemm_stats throughput ({engine}): {rate:.0f}/s "
+                f"< floor {GEMM_OPS_PER_SEC_FLOOR:.0f}/s")
+
+
+def check_scaling(failures: list[str]) -> None:
+    record = _load("BENCH_scaling.json")
+    if record is None:
+        return
+    rate = record.get("points_per_sec")
+    if rate is not None and rate < SCALING_POINTS_PER_SEC_FLOOR:
+        failures.append(
+            f"scaling smoke sweep: {rate:.1f} points/s "
+            f"< floor {SCALING_POINTS_PER_SEC_FLOOR:.0f}/s")
+    for name, section in record.get("batched_vs_pool", {}).items():
+        speedup = section.get("speedup", 0.0)
+        if speedup < BATCHED_VS_POOL_SPEEDUP_FLOOR:
+            failures.append(
+                f"batched {name} sweep speedup vs process pool: "
+                f"{speedup:.1f}x < floor "
+                f"{BATCHED_VS_POOL_SPEEDUP_FLOOR:.0f}x")
+
+
+def check_serve(failures: list[str]) -> None:
+    record = _load("BENCH_serve.json")
+    if record is None:
+        return
+    for point in record.get("points", []):
+        rate = point.get("jobs_per_sec", 0.0)
+        floor = (SERVE_JOBS_PER_SEC_FLOOR
+                 if point.get("jobs", 0) >= 100_000
+                 else SERVE_JOBS_PER_SEC_FLOOR_SMALL)
+        if rate < floor:
+            failures.append(
+                f"serve streaming ({point.get('jobs')} jobs): "
+                f"{rate:.0f} jobs/s < floor {floor:.0f}/s")
+
+
+def main() -> int:
+    failures: list[str] = []
+    check_gemm(failures)
+    check_scaling(failures)
+    check_serve(failures)
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: all recorded throughputs above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
