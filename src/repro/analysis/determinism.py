@@ -1,0 +1,98 @@
+"""R004: determinism — no ambient (unseeded or global) randomness.
+
+The simulators promise bit-identical reruns: traces, DP noise and data
+sampling must all flow from explicitly seeded generators that callers
+thread through.  This rule flags the three ways ambient randomness
+sneaks in:
+
+* legacy global-state NumPy calls — ``np.random.shuffle(...)``,
+  ``np.random.rand(...)`` and friends (anything under ``np.random``
+  except constructing a seeded ``default_rng`` / ``Generator`` /
+  ``SeedSequence``);
+* bare ``random.<fn>()`` module calls (the process-global stdlib RNG);
+* seedless constructions — ``default_rng()`` or ``random.Random()``
+  with no arguments, which seed from the OS.
+
+Test files are not linted, so fixtures may do as they like.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+#: np.random attributes that are fine: seeded-generator constructors.
+_NP_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64",
+               "Philox", "SFC64", "MT19937", "BitGenerator"}
+
+
+def _dotted(node: ast.expr) -> list[str]:
+    """Attribute chain as names, e.g. ``np.random.rand`` -> [np,random,rand]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag unseeded or process-global randomness."""
+
+    rule_id = "R004"
+    title = "determinism (seeded RNG only)"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _dotted(node.func)
+                finding = self._check_call(node, chain)
+                if finding is not None:
+                    message, hint = finding
+                    yield Finding(
+                        rule_id=self.rule_id, path=module.rel,
+                        line=node.lineno, message=message, hint=hint)
+
+    def _check_call(self, node: ast.Call,
+                    chain: list[str]) -> tuple[str, str] | None:
+        if not chain:
+            return None
+        name = ".".join(chain)
+        # numpy global-state RNG: np.random.<fn> / numpy.random.<fn>
+        if len(chain) >= 3 and chain[0] in ("np", "numpy") \
+                and chain[1] == "random":
+            if chain[2] not in _NP_ALLOWED:
+                return (f"process-global numpy RNG call '{name}'",
+                        "thread a seeded np.random.Generator "
+                        "(np.random.default_rng(seed)) instead")
+            if chain[2] == "default_rng" and not node.args \
+                    and not node.keywords:
+                return ("'default_rng()' without a seed is "
+                        "nondeterministic",
+                        "pass an explicit seed (or a caller-provided "
+                        "Generator)")
+            return None
+        # from numpy.random import default_rng; default_rng()
+        if chain == ["default_rng"] and not node.args and not node.keywords:
+            return ("'default_rng()' without a seed is nondeterministic",
+                    "pass an explicit seed (or a caller-provided "
+                    "Generator)")
+        # stdlib: bare random.<fn> uses the process-global RNG.
+        if len(chain) == 2 and chain[0] == "random":
+            if chain[1] == "Random":
+                if not node.args and not node.keywords:
+                    return ("'random.Random()' without a seed is "
+                            "nondeterministic",
+                            "construct it with an explicit seed")
+                return None
+            return (f"process-global stdlib RNG call '{name}'",
+                    "construct a seeded random.Random(seed) and call "
+                    "methods on it")
+        return None

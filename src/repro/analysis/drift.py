@@ -1,0 +1,156 @@
+"""R003: scalar <-> batched API drift.
+
+The repo's performance model is dual-path: every batched NumPy
+evaluator (``*_batch`` / ``*_batched``) is pinned value-identical to a
+scalar oracle.  The pin only holds while the two signatures mean the
+same thing, so this rule pairs each public batched function with its
+scalar twin and flags:
+
+* a scalar parameter with no batched counterpart (same name, or the
+  pluralized form — ``overlap`` -> ``overlaps``);
+* a batched function whose name never appears in ``tests/`` (no pinned
+  equivalence test).
+
+Twins are found by stripping the ``_batch``/``_batched`` suffix (with
+depluralization, so ``evaluate_points_batched`` matches
+``evaluate_point``) or through :data:`TWIN_OVERRIDES` for historically
+named pairs.  Batched functions with no twin anywhere are out of scope.
+Parameters that *carry* packed scalar arguments — ``self``, model
+objects like ``engine``/``cluster``/``job``, or a work-tuple list like
+``points``/``specs`` — are exempt from one-to-one matching; the
+cache-key rule (R002) checks tuple packing instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+#: Batched name -> scalar twin, for pairs the stem heuristic misses.
+TWIN_OVERRIDES = {
+    "training_step_batch": "simulate_training_step",
+    "sharded_step_batch": "simulate_sharded_training_step",
+}
+
+#: Parameters exempt from one-to-one matching: object carriers whose
+#: fields replace several scalar arguments, and plumbing knobs.
+CARRIER_PARAMS = {
+    "self", "cls", "engine", "accel", "accelerator", "network",
+    "cluster", "fleet", "job", "trace", "gemm", "tile", "cache",
+    "config", "rng",
+}
+
+#: Batched parameters that pack whole scalar-argument tuples.
+PACKED_PARAMS = {"points", "items", "specs", "work", "jobs"}
+
+
+def _params(node: ast.FunctionDef) -> list[str]:
+    args = node.args
+    return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+
+def _plural_forms(name: str) -> set[str]:
+    forms = {name, name + "s", name + "es"}
+    if name.endswith("y"):
+        forms.add(name[:-1] + "ies")
+    return forms
+
+
+def _singular_forms(name: str) -> set[str]:
+    forms = {name}
+    if name.endswith("ies"):
+        forms.add(name[:-3] + "y")
+    if name.endswith("s"):
+        forms.add(name[:-1])
+    if name.endswith("es"):
+        forms.add(name[:-2])
+    return forms
+
+
+def _is_property(node: ast.FunctionDef) -> bool:
+    return any(isinstance(dec, ast.Name) and dec.id == "property"
+               for dec in node.decorator_list)
+
+
+@register
+class DriftRule(Rule):
+    """Flag batched evaluators drifting away from their scalar twins."""
+
+    rule_id = "R003"
+    title = "scalar-batched drift"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        tests_text = self._tests_text(project)
+        for module, node, owner in project.iter_functions():
+            if node.name.startswith("_") or _is_property(node):
+                continue
+            stem = self._stem(node.name)
+            if stem is None:
+                continue
+            twins = self._twins(project, node.name, stem)
+            if not twins:
+                continue
+            yield from self._check_signature(module, node, twins)
+            if tests_text is not None and node.name not in tests_text:
+                yield Finding(
+                    rule_id=self.rule_id, path=module.rel,
+                    line=node.lineno,
+                    message=f"batched function '{node.name}' has no "
+                            "pinned equivalence test in tests/",
+                    hint="add a test comparing it element-wise against "
+                         f"its scalar twin '{twins[0].name}'")
+
+    @staticmethod
+    def _stem(name: str) -> str | None:
+        for suffix in ("_batched", "_batch"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+        return None
+
+    def _twins(self, project: Project, name: str,
+               stem: str) -> list[ast.FunctionDef]:
+        override = TWIN_OVERRIDES.get(name)
+        candidates = []
+        for candidate in ([override] if override
+                          else sorted(_singular_forms(stem))):
+            candidates += [fn for _, fn, _ in
+                           project.functions_named(candidate)]
+        return candidates
+
+    def _check_signature(
+        self, module: Module, batch: ast.FunctionDef,
+        twins: list[ast.FunctionDef],
+    ) -> Iterator[Finding]:
+        batch_params = set(_params(batch))
+        if batch_params & PACKED_PARAMS:
+            return  # scalar args travel packed in work tuples (see R002)
+        best_missing: list[tuple[str, str]] | None = None
+        for twin in twins:
+            missing = []
+            for param in _params(twin):
+                if param in CARRIER_PARAMS:
+                    continue
+                if not (_plural_forms(param) & batch_params):
+                    missing.append((param, twin.name))
+            if best_missing is None or len(missing) < len(best_missing):
+                best_missing = missing
+            if not missing:
+                return  # signature covers at least one twin: no drift
+        for param, twin_name in best_missing or []:
+            yield Finding(
+                rule_id=self.rule_id, path=module.rel, line=batch.lineno,
+                message=f"'{batch.name}' diverged from scalar twin "
+                        f"'{twin_name}': parameter '{param}' has no "
+                        "batched counterpart",
+                hint=f"accept '{param}' (or '{param}s') so the batched "
+                     "signature stays a vectorization of the scalar one")
+
+    @staticmethod
+    def _tests_text(project: Project) -> str | None:
+        tests_dir = project.root / "tests"
+        if not tests_dir.is_dir():
+            return None
+        return "\n".join(path.read_text()
+                         for path in sorted(tests_dir.glob("*.py")))

@@ -1,0 +1,235 @@
+"""R001: units-of-measure consistency from the name-suffix convention.
+
+The repo encodes physical units in names — ``*_cycles``, ``*_seconds``
+(or ``*_s``), ``*_bytes``, ``*_eps``, ``*_hz`` — and every cycle
+accounting bug we have shipped mixed two of them.  This rule infers a
+unit for every expression it can and flags the cases where two *known*
+units disagree:
+
+* ``a_cycles + b_seconds`` (also ``-``, comparisons, ``max``/``min``);
+* a unit-suffixed assignment target fed a different known unit;
+* a ``return`` whose unit contradicts the function's name suffix;
+* a call keyword like ``cycles=...`` fed a different known unit.
+
+Names with no recognized suffix (or containing ``_per_`` — compound
+units such as ``bytes_per_cycle``) are *unknown* and never flagged, so
+the rule has no opinion about most arithmetic.  The algebra knows the
+two conversions the codebase uses: ``cycles / hz -> seconds`` and
+``seconds * hz -> cycles``; dividing two like units yields a unitless
+ratio.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+#: Name suffixes mapped to units, longest first so ``_seconds`` wins
+#: over ``_s``.
+_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_cycles", "cycles"),
+    ("_seconds", "seconds"),
+    ("_bytes", "bytes"),
+    ("_eps", "eps"),
+    ("_hz", "hz"),
+    ("_s", "seconds"),
+)
+
+#: Bare names that *are* a unit-suffixed quantity.
+_EXACT = {"cycles": "cycles", "seconds": "seconds", "bytes": "bytes",
+          "eps": "eps"}
+
+#: Call targets transparent to units (unit of their first argument).
+_PASSTHROUGH = {"int", "float", "round", "abs", "ceil", "floor",
+                "asarray", "array"}
+
+#: Call targets requiring *matching* units across arguments.
+_HOMOGENEOUS = {"max", "min", "maximum", "minimum", "sum", "where"}
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit a name's suffix declares, or None (unknown)."""
+    base = name.lower()
+    for batch_suffix in ("_batched", "_batch"):
+        if base.endswith(batch_suffix):
+            base = base[: -len(batch_suffix)]
+            break
+    if "_per_" in base or base.endswith("_per"):
+        return None  # compound unit (e.g. bytes_per_cycle): no opinion
+    if base in _EXACT:
+        return _EXACT[base]
+    for suffix, unit in _SUFFIXES:
+        if base.endswith(suffix):
+            return unit
+    return None
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _UnitChecker:
+    """Per-module walker; collects mismatch findings."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.findings: list[Finding] = []
+
+    # -- unit inference ----------------------------------------------------
+
+    def unit_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.unit_of(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.unit_of(node.body), self.unit_of(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.Call):
+            return self._unit_of_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._unit_of_binop(node)
+        return None
+
+    def _unit_of_call(self, node: ast.Call) -> str | None:
+        name = _callee_name(node.func)
+        if name is None:
+            return None
+        if name in _PASSTHROUGH and node.args:
+            return self.unit_of(node.args[0])
+        if name in _HOMOGENEOUS and node.args:
+            units = {self.unit_of(arg) for arg in node.args}
+            units.discard(None)
+            if len(units) > 1:
+                self._flag(node, f"{name}() mixes units {sorted(units)}",
+                           "reduce over one unit; convert operands first")
+                return None
+            return next(iter(units), None)
+        return unit_of_name(name)
+
+    def _unit_of_binop(self, node: ast.BinOp) -> str | None:
+        left, right = self.unit_of(node.left), self.unit_of(node.right)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)):
+            if left and right and left != right:
+                self._flag(node, f"arithmetic mixes {left} and {right}",
+                           "convert one operand (cycles/hz -> seconds; "
+                           "seconds*hz -> cycles) before combining")
+                return None
+            return left or right
+        if isinstance(node.op, ast.Mult):
+            pair = {left, right}
+            if pair == {"seconds", "hz"}:
+                return "cycles"
+            if left and right:
+                return None  # unit*unit we don't model (e.g. bytes*bytes)
+            return left or right  # scaling by a dimensionless factor
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left == "cycles" and right == "hz":
+                return "seconds"
+            # Any other divisor may itself carry units (bandwidths,
+            # utilizations, ...), so the quotient's unit is unknown.
+            return None
+        if isinstance(node.op, ast.Mod):
+            if left and right and left != right:
+                self._flag(node, f"modulo mixes {left} and {right}",
+                           "operands of % must share a unit")
+                return None
+            return left or right
+        return None
+
+    # -- checks ------------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str, hint: str) -> None:
+        self.findings.append(Finding(
+            rule_id=UnitsRule.rule_id, path=self.module.rel,
+            line=getattr(node, "lineno", 1), message=message, hint=hint))
+
+    def _check_target(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            name = target.id if isinstance(target, ast.Name) else target.attr
+            declared = unit_of_name(name)
+            actual = self.unit_of(value)
+            if declared and actual and declared != actual:
+                self._flag(
+                    target,
+                    f"'{name}' is {declared} but is assigned {actual}",
+                    f"rename '{name}' or convert the value to {declared}")
+
+    def check_module(self) -> None:
+        self._walk(self.module.tree, func_unit=None)
+
+    def _walk(self, node: ast.AST, func_unit: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk(child, unit_of_name(child.name))
+                continue
+            if isinstance(child, ast.Return) and child.value is not None:
+                actual = self.unit_of(child.value)
+                if func_unit and actual and actual != func_unit:
+                    self._flag(
+                        child,
+                        f"function declares {func_unit} but returns "
+                        f"{actual}",
+                        f"convert the return value to {func_unit} or "
+                        "rename the function")
+            elif isinstance(child, ast.Assign):
+                for target in child.targets:
+                    self._check_target(target, child.value)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                self._check_target(child.target, child.value)
+            elif isinstance(child, ast.AugAssign) and isinstance(
+                    child.op, (ast.Add, ast.Sub)):
+                self._check_target(child.target, child.value)
+            elif isinstance(child, ast.Compare):
+                units = [self.unit_of(child.left)]
+                units += [self.unit_of(cmp) for cmp in child.comparators]
+                known = {unit for unit in units if unit}
+                if len(known) > 1:
+                    self._flag(child,
+                               f"comparison mixes units {sorted(known)}",
+                               "compare like with like; convert first")
+            elif isinstance(child, ast.BinOp):
+                self.unit_of(child)  # flags Add/Sub/Mod mixes
+            elif isinstance(child, ast.Call):
+                self.unit_of(child)  # flags homogeneous-call mixes
+                for keyword in child.keywords:
+                    if keyword.arg is None:
+                        continue
+                    declared = unit_of_name(keyword.arg)
+                    actual = self.unit_of(keyword.value)
+                    if declared and actual and declared != actual:
+                        self._flag(
+                            keyword.value,
+                            f"argument '{keyword.arg}' is {declared} but "
+                            f"receives {actual}",
+                            f"convert the value to {declared}")
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                self._walk(child, func_unit)
+
+
+@register
+class UnitsRule(Rule):
+    """Flag arithmetic mixing the repo's unit-suffix conventions."""
+
+    rule_id = "R001"
+    title = "units-of-measure consistency"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            checker = _UnitChecker(module)
+            checker.check_module()
+            # An expression can be evaluated from several contexts
+            # (assignment check + recursive walk); report each site once.
+            yield from dict.fromkeys(checker.findings)

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any, Iterable
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.arch.engine import GemmEngine
 from repro.arch.interconnect import TOPOLOGIES
@@ -47,31 +50,31 @@ class GemmStatsBatch:
 
     engine: str
     peak_macs_per_cycle: int
-    m: np.ndarray
-    k: np.ndarray
-    n: np.ndarray
-    count: np.ndarray
-    compute_cycles: np.ndarray
-    macs: np.ndarray
-    tiles: np.ndarray
-    sram_read_bytes: np.ndarray
-    sram_write_bytes: np.ndarray
+    m: NDArray[Any]
+    k: NDArray[Any]
+    n: NDArray[Any]
+    count: NDArray[Any]
+    compute_cycles: NDArray[Any]
+    macs: NDArray[Any]
+    tiles: NDArray[Any]
+    sram_read_bytes: NDArray[Any]
+    sram_write_bytes: NDArray[Any]
 
     def __len__(self) -> int:
         return self.m.shape[0]
 
     @property
-    def utilization(self) -> np.ndarray:
+    def utilization(self) -> NDArray[Any]:
         """Effective FLOPS utilization per GEMM (0.0 where idle)."""
         denom = self.compute_cycles * self.peak_macs_per_cycle
         return np.divide(self.macs, denom, where=denom != 0,
                          out=np.zeros(len(self), dtype=float))
 
 
-def _class_cycles_overlapped(engine: GemmEngine, overlap: np.ndarray,
-                             main: np.ndarray, fo: np.ndarray,
-                             ro: np.ndarray, fi: np.ndarray,
-                             ri: np.ndarray) -> np.ndarray:
+def _class_cycles_overlapped(engine: GemmEngine, overlap: NDArray[Any],
+                             main: NDArray[Any], fo: NDArray[Any],
+                             ro: NDArray[Any], fi: NDArray[Any],
+                             ri: NDArray[Any]) -> NDArray[Any]:
     """Overlapped-pipeline cycle sum over the tile-pair classes.
 
     Vectorization of :func:`repro.arch.engine._grid_pair_classes` plus
@@ -90,11 +93,11 @@ def _class_cycles_overlapped(engine: GemmEngine, overlap: np.ndarray,
     first_o = np.where(has_fo, 0, 1)
     last_o = np.where(has_ro, 1, 0)
 
-    def take(arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    def take(arr: NDArray[Any], idx: NDArray[Any]) -> NDArray[Any]:
         return np.take_along_axis(arr, idx[:, None], axis=1)[:, 0]
 
     # (src class, dst class, multiplicity) triples, all (G,) arrays.
-    pairs: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    pairs: list[tuple[NDArray[Any], NDArray[Any], NDArray[Any]]] = []
     for o in (0, 1):
         base = np.full_like(fo, o * 2)
         # Within-row full->full neighbours.
@@ -123,8 +126,8 @@ def _class_cycles_overlapped(engine: GemmEngine, overlap: np.ndarray,
     return total
 
 
-def _scalar_fallback(engine: GemmEngine, m: np.ndarray, k: np.ndarray,
-                     n: np.ndarray, count: np.ndarray) -> GemmStatsBatch:
+def _scalar_fallback(engine: GemmEngine, m: NDArray[Any], k: NDArray[Any],
+                     n: NDArray[Any], count: NDArray[Any]) -> GemmStatsBatch:
     """Per-GEMM loop for engines without a declarative tile grid."""
     fields = {"compute_cycles": [], "macs": [], "tiles": [],
               "sram_read_bytes": [], "sram_write_bytes": []}
@@ -141,8 +144,9 @@ def _scalar_fallback(engine: GemmEngine, m: np.ndarray, k: np.ndarray,
     )
 
 
-def gemm_stats_batch(engine: GemmEngine, m, k, n,
-                     count=1) -> GemmStatsBatch:
+def gemm_stats_batch(engine: GemmEngine, m: "ArrayLike", k: "ArrayLike",
+                     n: "ArrayLike", count: "ArrayLike" = 1
+                     ) -> GemmStatsBatch:
     """Evaluate the closed-form cycle model over arrays of GEMM dims.
 
     ``m``, ``k``, ``n`` and ``count`` broadcast against each other;
@@ -186,7 +190,7 @@ def gemm_stats_batch(engine: GemmEngine, m, k, n,
     counts = np.stack([fo * fi, fo * has_ri, has_ro * fi,
                        has_ro * has_ri], axis=1)
 
-    def tile_dim(axis: str) -> np.ndarray:
+    def tile_dim(axis: str) -> NDArray[Any]:
         if axis == axes[0]:
             return outer_sizes
         if axis == axes[1]:
@@ -229,7 +233,7 @@ def gemm_stats_batch(engine: GemmEngine, m, k, n,
 # one.  ``topology`` is a :data:`TOPOLOGY_CODES` integer array and
 # ``bucket_bytes`` uses 0 as the "monolithic" (None) sentinel.
 
-def topology_codes(names) -> np.ndarray:
+def topology_codes(names: Iterable[str]) -> NDArray[Any]:
     """Map topology-name sequences onto :data:`TOPOLOGY_CODES` ints."""
     try:
         return np.array([TOPOLOGY_CODES[name] for name in names],
@@ -240,38 +244,40 @@ def topology_codes(names) -> np.ndarray:
             f"choose from {TOPOLOGIES}") from None
 
 
-def _bucket_shape_batch(payload: np.ndarray, bucket: np.ndarray):
+def _bucket_shape_batch(
+    payload_bytes: NDArray[Any], bucket_bytes: NDArray[Any],
+) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
     """``(full, size, remainder)`` arrays of the DDP bucket split."""
-    mono = (bucket <= 0) | (bucket >= payload)
-    divisor = np.maximum(bucket, 1)
-    full = np.where(mono, 1, payload // divisor)
-    size = np.where(mono, payload, bucket)
-    rem = np.where(mono, 0, payload % divisor)
-    empty = payload <= 0
+    mono = (bucket_bytes <= 0) | (bucket_bytes >= payload_bytes)
+    divisor = np.maximum(bucket_bytes, 1)
+    full = np.where(mono, 1, payload_bytes // divisor)
+    size = np.where(mono, payload_bytes, bucket_bytes)
+    rem = np.where(mono, 0, payload_bytes % divisor)
+    empty = payload_bytes <= 0
     return (np.where(empty, 0, full), np.where(empty, 0, size),
             np.where(empty, 0, rem))
 
 
-def n_buckets_batch(payload: np.ndarray, bucket: np.ndarray) -> np.ndarray:
+def n_buckets_batch(payload_bytes: NDArray[Any], bucket_bytes: NDArray[Any]) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.n_buckets`."""
-    full, _, rem = _bucket_shape_batch(payload, bucket)
+    full, _, rem = _bucket_shape_batch(payload_bytes, bucket_bytes)
     return full + (rem > 0)
 
 
 def _one_allreduce_seconds_batch(
-    payload: np.ndarray, n_chips: np.ndarray, topology: np.ndarray,
-    chips_per_node: np.ndarray, bandwidth: float, latency: float,
-) -> np.ndarray:
+    payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
+    chips_per_node: NDArray[Any], bandwidth: float, latency: float,
+) -> NDArray[Any]:
     """Seconds of one unbucketed allreduce, per topology code."""
     n = n_chips
-    ring = 2 * (n - 1) * (payload / (n * bandwidth) + latency)
-    a2a = 2 * (payload / (n * bandwidth) + latency)
+    ring = 2 * (n - 1) * (payload_bytes / (n * bandwidth) + latency)
+    a2a = 2 * (payload_bytes / (n * bandwidth) + latency)
     m = chips_per_node
     # Guard k against degenerate (masked-out) entries so the eager
     # numpy arithmetic never divides by zero; valid entries have k >= 1.
     k = np.maximum(n // np.maximum(m, 1), 1)
-    in_node = 2 * (payload / (m * bandwidth) + latency)
-    cross = 2 * (k - 1) * (payload / ((m * k) * bandwidth) + latency)
+    in_node = 2 * (payload_bytes / (m * bandwidth) + latency)
+    cross = 2 * (k - 1) * (payload_bytes / ((m * k) * bandwidth) + latency)
     hier = (np.where(m > 1, in_node, 0.0)
             + np.where(k > 1, cross, 0.0))
     return np.select(
@@ -281,42 +287,42 @@ def _one_allreduce_seconds_batch(
 
 
 def allreduce_seconds_batch(
-    payload: np.ndarray, n_chips: np.ndarray, topology: np.ndarray,
-    bucket_bytes: np.ndarray, chips_per_node: np.ndarray,
+    payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
+    bucket_bytes: NDArray[Any], chips_per_node: NDArray[Any],
     bandwidth: float = 100e9, latency: float = 1e-6,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.allreduce_seconds` (total wire time)."""
-    full, size, rem = _bucket_shape_batch(payload, bucket_bytes)
+    full, size, rem = _bucket_shape_batch(payload_bytes, bucket_bytes)
     seconds = full * _one_allreduce_seconds_batch(
         size, n_chips, topology, chips_per_node, bandwidth, latency)
     rem_seconds = _one_allreduce_seconds_batch(
         rem, n_chips, topology, chips_per_node, bandwidth, latency)
     seconds = np.where(rem > 0, seconds + rem_seconds, seconds)
-    return np.where((n_chips <= 1) | (payload <= 0), 0.0, seconds)
+    return np.where((n_chips <= 1) | (payload_bytes <= 0), 0.0, seconds)
 
 
 def first_bucket_seconds_batch(
-    payload: np.ndarray, n_chips: np.ndarray, topology: np.ndarray,
-    bucket_bytes: np.ndarray, chips_per_node: np.ndarray,
+    payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
+    bucket_bytes: NDArray[Any], chips_per_node: NDArray[Any],
     bandwidth: float = 100e9, latency: float = 1e-6,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.first_bucket_seconds`."""
-    _, size, _ = _bucket_shape_batch(payload, bucket_bytes)
+    _, size, _ = _bucket_shape_batch(payload_bytes, bucket_bytes)
     seconds = _one_allreduce_seconds_batch(
         size, n_chips, topology, chips_per_node, bandwidth, latency)
-    return np.where((n_chips <= 1) | (payload <= 0), 0.0, seconds)
+    return np.where((n_chips <= 1) | (payload_bytes <= 0), 0.0, seconds)
 
 
 def _one_link_bytes_batch(
-    payload: np.ndarray, n_chips: np.ndarray, topology: np.ndarray,
-    chips_per_node: np.ndarray,
-) -> np.ndarray:
+    payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
+    chips_per_node: NDArray[Any],
+) -> NDArray[Any]:
     """Per-chip wire bytes of one unbucketed allreduce."""
     n = n_chips
-    flat = 2 * (n - 1) * np.ceil(payload / n).astype(np.int64)
+    flat = 2 * (n - 1) * np.ceil(payload_bytes / n).astype(np.int64)
     m = chips_per_node
     k = np.maximum(n // np.maximum(m, 1), 1)
-    shard = np.ceil(payload / m).astype(np.int64)
+    shard = np.ceil(payload_bytes / m).astype(np.int64)
     in_node = np.where(m > 1, 2 * (m - 1) * shard, 0)
     cross = np.where(
         k > 1, 2 * (k - 1) * np.ceil(shard / k).astype(np.int64), 0)
@@ -325,14 +331,14 @@ def _one_link_bytes_batch(
 
 
 def link_bytes_per_chip_batch(
-    payload: np.ndarray, n_chips: np.ndarray, topology: np.ndarray,
-    bucket_bytes: np.ndarray, chips_per_node: np.ndarray,
-) -> np.ndarray:
+    payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
+    bucket_bytes: NDArray[Any], chips_per_node: NDArray[Any],
+) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.link_bytes_per_chip`."""
-    full, size, rem = _bucket_shape_batch(payload, bucket_bytes)
+    full, size, rem = _bucket_shape_batch(payload_bytes, bucket_bytes)
     total = full * _one_link_bytes_batch(
         size, n_chips, topology, chips_per_node)
     total = total + np.where(
         rem > 0,
         _one_link_bytes_batch(rem, n_chips, topology, chips_per_node), 0)
-    return np.where((n_chips <= 1) | (payload <= 0), 0, total)
+    return np.where((n_chips <= 1) | (payload_bytes <= 0), 0, total)

@@ -30,7 +30,10 @@ import abc
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.workloads.gemms import Gemm
 
@@ -302,20 +305,20 @@ class GemmEngine(abc.ABC):
         return None
 
     def grid_tile_dims(
-        self, gemm: Gemm, outer_sizes: np.ndarray, inner_sizes: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self, gemm: Gemm, outer_sizes: NDArray[Any], inner_sizes: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
         """Map chunk-size arrays to ``(m, k, n)`` tile-dimension arrays."""
         raise NotImplementedError
 
     def tile_phases_batch(
-        self, m: np.ndarray, k: np.ndarray, n: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         """Vectorized :meth:`tile_cycle_phases` over tile-dim arrays."""
         raise NotImplementedError
 
     def tile_traffic_batch(
-        self, m: np.ndarray, k: np.ndarray, n: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         """Vectorized :meth:`tile_sram_traffic` over tile-dim arrays."""
         raise NotImplementedError
 
@@ -411,7 +414,7 @@ class GemmEngine(abc.ABC):
                 for i in range(len(phases) - 1))
         return fixed + cycles, len(phases)
 
-    def _cache_key(self) -> tuple:
+    def _cache_key(self) -> tuple[object, ...]:
         """Hashable identity of this engine's cycle model."""
         return (type(self).__qualname__, self.config)
 

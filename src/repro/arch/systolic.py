@@ -17,8 +17,10 @@ The formulas follow Figure 3 of the paper:
 from __future__ import annotations
 
 import math
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.arch.engine import (
     GemmEngine,
@@ -51,7 +53,10 @@ class WeightStationaryEngine(GemmEngine):
         return TileGrid(outer=chunk_spec(gemm.k, cfg.height),
                         inner=chunk_spec(gemm.n, cfg.width))
 
-    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+    def grid_tile_dims(
+        self, gemm: Gemm, outer_sizes: NDArray[Any],
+        inner_sizes: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
         return np.full_like(outer_sizes, gemm.m), outer_sizes, inner_sizes
 
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
@@ -60,7 +65,9 @@ class WeightStationaryEngine(GemmEngine):
         stream = tile.m + tile.k + cfg.width - 1
         return fill, stream
 
-    def tile_phases_batch(self, m, k, n):
+    def tile_phases_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         fill = (k + cfg.fill_rows_per_cycle - 1) // cfg.fill_rows_per_cycle
         stream = m + k + cfg.width - 1
@@ -72,7 +79,9 @@ class WeightStationaryEngine(GemmEngine):
         writes = tile.m * tile.n * cfg.acc_bytes
         return reads, writes
 
-    def tile_traffic_batch(self, m, k, n):
+    def tile_traffic_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         reads = (m * k + k * n) * cfg.input_bytes
         writes = m * n * cfg.acc_bytes
@@ -100,7 +109,10 @@ class OutputStationaryEngine(GemmEngine):
         return TileGrid(outer=chunk_spec(gemm.m, cfg.height),
                         inner=chunk_spec(gemm.n, cfg.width))
 
-    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+    def grid_tile_dims(
+        self, gemm: Gemm, outer_sizes: NDArray[Any],
+        inner_sizes: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
         return outer_sizes, np.full_like(outer_sizes, gemm.k), inner_sizes
 
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
@@ -109,7 +121,9 @@ class OutputStationaryEngine(GemmEngine):
         wavefront = tile.k + tile.m + tile.n - 1
         return drain, wavefront
 
-    def tile_phases_batch(self, m, k, n):
+    def tile_phases_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         drain = (m + cfg.drain_rows_per_cycle - 1) // cfg.drain_rows_per_cycle
         wavefront = k + m + n - 1
@@ -121,7 +135,9 @@ class OutputStationaryEngine(GemmEngine):
         writes = tile.m * tile.n * cfg.acc_bytes
         return reads, writes
 
-    def tile_traffic_batch(self, m, k, n):
+    def tile_traffic_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         reads = (m * k + k * n) * cfg.input_bytes
         writes = m * n * cfg.acc_bytes

@@ -13,8 +13,10 @@ to the SRAM output buffer or directly into the PPU.
 from __future__ import annotations
 
 import math
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.arch.engine import (
     GemmEngine,
@@ -47,7 +49,10 @@ class OuterProductEngine(GemmEngine):
         return TileGrid(outer=chunk_spec(gemm.m, cfg.height),
                         inner=chunk_spec(gemm.n, cfg.width))
 
-    def grid_tile_dims(self, gemm, outer_sizes, inner_sizes):
+    def grid_tile_dims(
+        self, gemm: Gemm, outer_sizes: NDArray[Any],
+        inner_sizes: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
         return outer_sizes, np.full_like(outer_sizes, gemm.k), inner_sizes
 
     def tile_cycle_phases(self, tile: TileShape) -> tuple[int, int]:
@@ -56,7 +61,9 @@ class OuterProductEngine(GemmEngine):
         drain = math.ceil(tile.m / cfg.drain_rows_per_cycle)
         return drain, tile.k
 
-    def tile_phases_batch(self, m, k, n):
+    def tile_phases_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         drain = (m + cfg.drain_rows_per_cycle - 1) // cfg.drain_rows_per_cycle
         return drain, k
@@ -68,7 +75,9 @@ class OuterProductEngine(GemmEngine):
         writes = tile.m * tile.n * cfg.acc_bytes
         return reads, writes
 
-    def tile_traffic_batch(self, m, k, n):
+    def tile_traffic_batch(
+        self, m: NDArray[Any], k: NDArray[Any], n: NDArray[Any],
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         cfg = self.config
         reads = (m + n) * k * cfg.input_bytes
         writes = m * n * cfg.acc_bytes

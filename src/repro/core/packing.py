@@ -65,7 +65,7 @@ class PackedOuterProductEngine(OuterProductEngine):
             return 1
         return max(1, min(self.bus_segments, fit, gemm.count))
 
-    def _cache_key(self) -> tuple:
+    def _cache_key(self) -> tuple[object, ...]:
         return super()._cache_key() + (self.bus_segments,)
 
     def _pack_stats(self, gemm: Gemm, per_instance: GemmStats,

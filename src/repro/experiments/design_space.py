@@ -133,26 +133,33 @@ def run(
     models: tuple[str, ...] = DEFAULT_MODELS,
     heights: tuple[int, ...] = DEFAULT_HEIGHTS,
     widths: tuple[int, ...] | None = None,
+    input_size: int = 32,
+    seq_len: int = 32,
     jobs: int | None = None,
     cache: "runner.ResultCache | None" = None,
 ) -> list[dict]:
     """Sweep the design space; one row per (model, height, width)."""
     square_only = widths is None
     widths = widths or heights
-    work = [(name, h, w)
+    work = [(name, h, w, input_size, seq_len)
             for name in models for h in heights for w in widths
             if not square_only or h == w]
     # One cache entry per point: growing the swept set only computes
-    # the new (model, height, width) combinations.  The sweep is fully
-    # analytic, so misses are priced in one batched in-process
-    # evaluation (`jobs` is accepted for API stability; no workers are
-    # needed) — `evaluate_point` remains as the pinned scalar oracle.
+    # the new combinations.  The sweep is fully analytic, so misses are
+    # priced in one batched in-process evaluation (`jobs` is accepted
+    # for API stability; no workers are needed) — `evaluate_point`
+    # remains as the pinned scalar oracle.  Key v2: ``input_size`` and
+    # ``seq_len`` shape the built model, so they are part of the key
+    # (v1 omitted them — a stale-hit bug found by repro-lint R002; the
+    # added fields re-hash every entry, invalidating v1 caches).
     del jobs
     return runner.cached_batch(
         evaluate_points_batched, work, cache=cache,
         key_fn=lambda point: {"experiment": "design_space",
                               "model": point[0], "height": point[1],
-                              "width": point[2]},
+                              "width": point[2],
+                              "input_size": point[3],
+                              "seq_len": point[4]},
     )
 
 

@@ -25,7 +25,10 @@ import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.dpml.accountant import (
     DEFAULT_ORDERS,
@@ -102,15 +105,15 @@ class BatchAdmissionDecisions:
     TRUNCATED = 1
     REJECTED = 2
 
-    status: np.ndarray
-    granted_steps: np.ndarray
-    epsilon_after: np.ndarray
+    status: NDArray[Any]
+    granted_steps: NDArray[Any]
+    epsilon_after: NDArray[Any]
 
     def __len__(self) -> int:
         return self.status.shape[0]
 
     @property
-    def admitted(self) -> np.ndarray:
+    def admitted(self) -> NDArray[Any]:
         """Mask of jobs that received any grant."""
         return self.status != self.REJECTED
 
@@ -151,7 +154,7 @@ class AdmissionController:
             self._overrides = dict(budget)
         self.allow_truncation = allow_truncation
         self.orders = orders
-        self._rdp: dict[str, np.ndarray] = {}
+        self._rdp: dict[str, NDArray[Any]] = {}
         self._counts: dict[str, dict[str, int]] = {}
 
     def budget_for(self, tenant: str) -> TenantBudget:
@@ -267,9 +270,9 @@ class AdmissionController:
         return BatchAdmissionDecisions(status, granted, eps_after)
 
     def _admit_tenant_batch(
-        self, trace: TraceArrays, code: int, is_private: np.ndarray,
-        class_of: np.ndarray, per_step_table: np.ndarray,
-        status: np.ndarray, granted: np.ndarray, eps_after: np.ndarray,
+        self, trace: TraceArrays, code: int, is_private: NDArray[Any],
+        class_of: NDArray[Any], per_step_table: NDArray[Any],
+        status: NDArray[Any], granted: NDArray[Any], eps_after: NDArray[Any],
     ) -> None:
         """Replay one tenant's jobs (arrival order) against its ledger."""
         name = trace.tenants[code]
@@ -289,7 +292,7 @@ class AdmissionController:
         ledger = (np.zeros(len(self.orders)) if base is None
                   else np.asarray(base, dtype=float))
 
-        def eps_of(rdp: np.ndarray) -> float:
+        def eps_of(rdp: NDArray[Any]) -> float:
             """Scalar ``epsilon`` of one RDP curve (the rdp_to_epsilon
             formula, with its all-zero special case)."""
             if not np.any(rdp):

@@ -23,7 +23,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 #: Algorithms a job may request; non-private SGD bypasses admission.
 JOB_ALGORITHMS = ("SGD", "DP-SGD", "DP-SGD(R)")
@@ -189,26 +192,26 @@ class TraceArrays:
     tenants: tuple[str, ...]
     models: tuple[str, ...]
     algorithms: tuple[str, ...]
-    arrival_s: np.ndarray
-    tenant: np.ndarray
-    model: np.ndarray
-    algorithm: np.ndarray
-    batch: np.ndarray
-    steps: np.ndarray
-    noise_multiplier: np.ndarray
-    dataset_size: np.ndarray
+    arrival_s: NDArray[Any]
+    tenant: NDArray[Any]
+    model: NDArray[Any]
+    algorithm: NDArray[Any]
+    batch: NDArray[Any]
+    steps: NDArray[Any]
+    noise_multiplier: NDArray[Any]
+    dataset_size: NDArray[Any]
 
     def __len__(self) -> int:
         return self.arrival_s.shape[0]
 
     @property
-    def is_private(self) -> np.ndarray:
+    def is_private(self) -> NDArray[Any]:
         """Boolean mask of jobs that draw on a privacy budget."""
         sgd = np.array([name == "SGD" for name in self.algorithms])
         return ~sgd[self.algorithm]
 
     @property
-    def sampling_rate(self) -> np.ndarray:
+    def sampling_rate(self) -> NDArray[Any]:
         """Per-job Poisson sampling rate ``min(1, batch / dataset)``."""
         return np.minimum(1.0, self.batch / self.dataset_size)
 

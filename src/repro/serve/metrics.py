@@ -10,13 +10,14 @@ the per-tenant epsilon spend against its configured budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.experiments.report import format_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.budget import AdmissionController
     from repro.serve.scheduler import JobRecord
+    from repro.serve.stream import StreamingStats
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
@@ -46,7 +47,7 @@ class TenantUsage:
     def within_budget(self) -> bool:
         return self.epsilon_spent <= self.budget_epsilon
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "tenant": self.tenant,
             "budget_epsilon": self.budget_epsilon,
@@ -77,7 +78,7 @@ class FleetReport:
     wait_p95_s: float
     wait_p99_s: float
     tenants: tuple[TenantUsage, ...]
-    records: tuple = ()
+    records: tuple[JobRecord, ...] = ()
 
     def tenant(self, name: str) -> TenantUsage:
         for usage in self.tenants:
@@ -85,7 +86,7 @@ class FleetReport:
                 return usage
         raise KeyError(f"unknown tenant {name!r}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable summary (per-job records excluded)."""
         return {
             "policy": self.policy,
@@ -163,7 +164,7 @@ def build_streaming_report(
     rejected: int,
     makespan_s: float,
     busy_s: float,
-    waits: "object",
+    waits: "StreamingStats",
     admission: "AdmissionController",
 ) -> FleetReport:
     """Fold streaming accumulators into a :class:`FleetReport`.
@@ -208,7 +209,8 @@ def build_report(
     """Fold finished job records + the budget ledger into a report."""
     finished = [r for r in records if r.finish_s is not None]
     waits = [r.wait_s for r in finished]
-    makespan = max((r.finish_s for r in finished), default=0.0)
+    makespan = max((r.finish_s for r in finished
+                    if r.finish_s is not None), default=0.0)
     busy = sum(r.service_s for r in finished)
     utilization = (busy / (n_clusters * makespan)) if makespan > 0 else 0.0
     throughput = (len(finished) / makespan * 3600.0) if makespan > 0 else 0.0

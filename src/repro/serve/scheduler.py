@@ -38,9 +38,10 @@ import math
 from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.arch.interconnect import InterconnectConfig
 from repro.experiments import runner
@@ -172,16 +173,18 @@ def predict_step_seconds(
            "bucket_bytes": fleet.bucket_bytes,
            "overlap": fleet.overlap, "model": job.model,
            "algorithm": job.algorithm, "batch": batch}
-    return runner.run_cached(
+    return float(runner.run_cached(
         key,
         lambda: _step_seconds(fleet.kind, fleet.chips_per_cluster,
                               fleet.topology, fleet.chips_per_node,
                               fleet.bucket_bytes, fleet.overlap,
                               job.model, job.algorithm, batch),
-        cache=cache)
+        cache=cache))
 
 
-def _policy_key(policy: str, admission: AdmissionController):
+def _policy_key(
+    policy: str, admission: AdmissionController,
+) -> Callable[[JobRecord], tuple[float | int, ...]]:
     """Dispatch-priority key function; lower sorts first."""
     if policy == "fifo":
         return lambda rec: (rec.job.arrival_s, rec.job.job_id)
@@ -229,6 +232,7 @@ def simulate_fleet(
     while events:
         now, _, kind, payload = heapq.heappop(events)
         if kind == "arrival":
+            assert isinstance(payload, TrainingJob)
             job = payload
             decision = admission.admit(job)
             record = JobRecord(job=job, decision=decision)
@@ -238,7 +242,9 @@ def simulate_fleet(
                     predict_step_seconds(fleet, job, cache=cache)
                 queue.append(record)
         else:  # completion
+            assert isinstance(payload, JobRecord)
             record = payload
+            assert record.cluster_index is not None
             heapq.heappush(idle, record.cluster_index)
         while idle and queue:
             nxt = min(queue, key=select_key)
@@ -265,7 +271,7 @@ def predict_step_seconds_batch(
     algorithms: Sequence[str],
     batches: Sequence[int],
     cache: "runner.ResultCache | None" = None,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Step latencies for many (model, algorithm, batch) configs at once.
 
     The batched counterpart of :func:`predict_step_seconds`: one
@@ -280,7 +286,7 @@ def predict_step_seconds_batch(
 
     work = list(zip(models, algorithms, batches))
 
-    def price(missing: list) -> list:
+    def price(missing: list[tuple[str, str, int]]) -> list[float]:
         if not missing:
             return []
         miss_models, miss_algorithms, miss_batches = zip(*missing)
@@ -313,7 +319,7 @@ def _job_service_seconds(
     decisions: BatchAdmissionDecisions,
     fleet: FleetConfig,
     cache: "runner.ResultCache | None" = None,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Per-job service times from one batched service-time table.
 
     Builds the (model, algorithm, rounded-batch) table with a single
@@ -402,17 +408,18 @@ def simulate_fleet_streaming(
             return fifo.popleft()
         if policy == "sjf":
             return heapq.heappop(sjf_heap)[2]
-        best = None
-        best_key = None
+        best: int | None = None
+        best_key: tuple[float, float, int] | None = None
         for tenant, backlog in enumerate(tenant_queues):
             if not backlog:
                 continue
             head = backlog[0]
             remaining = max(0.0, 1.0 - tenant_spent[tenant]
                             / budget_eps[tenant])
-            key = (-remaining, arrival[head], head)
+            key = (-remaining, float(arrival[head]), head)
             if best_key is None or key < best_key:
                 best, best_key = tenant, key
+        assert best is not None  # callers guarantee a queued job
         return tenant_queues[best].popleft()
 
     waits = StreamingStats()

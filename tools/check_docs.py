@@ -14,7 +14,10 @@ Checks, in order:
    table — a belt-and-braces check that does not depend on parsing
    argparse's ``--help`` output;
 4. ``python -m repro --help`` and every documented subcommand's
-   ``--help`` exit cleanly.
+   ``--help`` exit cleanly;
+5. the lint-rule table in ``docs/static-analysis.md`` names exactly
+   the rule ids registered in ``src/repro/analysis/`` (found
+   statically via ``rule_id = "..."`` assignments).
 
 Exits nonzero (listing every problem) on any failure, so CI can gate
 on it; see the ``docs`` job in ``.github/workflows/ci.yml``.
@@ -38,6 +41,11 @@ _CLI_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 _HELP_CHOICES = re.compile(r"\{([a-z0-9_,-]+)\}")
 #: Subparser declarations in __main__.py: sub.add_parser("name", ...)
 _ADD_PARSER = re.compile(r"""add_parser\(\s*["']([a-z0-9_-]+)["']""")
+#: Lint-rule ids in the static-analysis doc's table: | `R001` | ...
+_RULE_ROW = re.compile(r"^\|\s*`(R\d{3})`\s*\|")
+#: Rule registrations in src/repro/analysis/: rule_id = "R001"
+_RULE_ID = re.compile(r"""^\s*rule_id\s*=\s*["'](R\d{3})["']""",
+                      re.MULTILINE)
 
 
 def iter_doc_files() -> list[Path]:
@@ -138,6 +146,37 @@ def check_cli_table(readme: Path) -> list[str]:
     return problems
 
 
+def check_rule_table(doc: Path, analysis_dir: Path) -> list[str]:
+    """Static-analysis rule-table drift, as problem strings.
+
+    The doc's rule table and the ``rule_id`` assignments under
+    ``src/repro/analysis/`` must name exactly the same ids, so a new
+    rule cannot land undocumented and the doc cannot advertise a rule
+    that no longer exists.
+    """
+    if not doc.exists():
+        return [f"{doc.name}: missing (lint rules are undocumented)"]
+    documented = {match.group(1)
+                  for line in doc.read_text().splitlines()
+                  if (match := _RULE_ROW.match(line.strip()))}
+    registered = set()
+    for source in sorted(analysis_dir.rglob("*.py")):
+        registered.update(_RULE_ID.findall(source.read_text()))
+    if not registered:
+        return [f"{analysis_dir}: no rule_id assignments found "
+                "(check_docs cannot verify the rule table)"]
+    rel = doc.relative_to(REPO_ROOT)
+    problems = [
+        f"{rel}: rule table is missing registered rule {rule_id!r}"
+        for rule_id in sorted(registered - documented)
+    ]
+    problems += [
+        f"{rel}: rule table documents unknown rule {rule_id!r}"
+        for rule_id in sorted(documented - registered)
+    ]
+    return problems
+
+
 def main() -> int:
     doc_files = iter_doc_files()
     if not doc_files:
@@ -148,6 +187,9 @@ def main() -> int:
         REPO_ROOT / "README.md",
         REPO_ROOT / "src" / "repro" / "__main__.py")
     problems += check_cli_table(REPO_ROOT / "README.md")
+    problems += check_rule_table(
+        REPO_ROOT / "docs" / "static-analysis.md",
+        REPO_ROOT / "src" / "repro" / "analysis")
     if problems:
         for problem in problems:
             print(f"check_docs: {problem}", file=sys.stderr)

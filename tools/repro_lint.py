@@ -1,0 +1,103 @@
+"""Repo invariant linter CLI (see ``src/repro/analysis``).
+
+Run from anywhere::
+
+    python tools/repro_lint.py               # report findings
+    python tools/repro_lint.py --strict      # exit 1 on any new finding
+    python tools/repro_lint.py --list-rules  # registered rules
+    python tools/repro_lint.py --select R001,R004 src/repro/serve
+
+Findings already recorded in the baseline file (default
+``tools/lint_baseline.txt``, one ``path::rule::message`` key per line)
+are reported as baselined and never fail the run; ``--write-baseline``
+rewrites that file from the current findings.  Inline suppressions use
+``# repro-lint: ignore[R001] reason`` on the flagged line.  The CI
+``lint`` job runs ``--strict`` and also treats *stale* baseline entries
+(fixed findings that nobody removed) as failures, so the baseline can
+only shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+import sys
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    Project, all_rules, load_baseline, run_rules, split_baseline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint", description="AST invariant linter for src/repro")
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any non-baselined finding or stale baseline entry")
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=REPO_ROOT / "tools" / "lint_baseline.txt",
+        help="baseline file of accepted finding keys")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings")
+    parser.add_argument(
+        "--select", default="",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    options = parser.parse_args(argv)
+
+    rules = all_rules()
+    if options.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    if options.select:
+        wanted = {token.strip() for token in options.select.split(",")}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule ids: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    paths = options.paths or [REPO_ROOT / "src" / "repro"]
+    project = Project.load(REPO_ROOT, paths)
+    findings = run_rules(project, rules)
+
+    if options.write_baseline:
+        lines = ["# repro-lint baseline: one accepted finding key per "
+                 "line (path::rule::message).",
+                 "# Entries may only be removed (by fixing the finding);"
+                 " --strict fails on stale ones."]
+        lines += [finding.key for finding in findings]
+        options.baseline.write_text("\n".join(lines) + "\n")
+        print(f"repro-lint: wrote {len(findings)} baseline entries to "
+              f"{options.baseline.relative_to(REPO_ROOT)}")
+        return 0
+
+    baseline = load_baseline(options.baseline)
+    new, baselined, stale = split_baseline(findings, baseline)
+    for finding in new:
+        print(finding.render())
+    if baselined:
+        print(f"repro-lint: {len(baselined)} baselined finding(s) "
+              "suppressed")
+    for key in stale:
+        print(f"repro-lint: stale baseline entry (already fixed — "
+              f"remove it): {key}")
+    status = (f"repro-lint: {len(project.modules)} files, "
+              f"{len(rules)} rules, {len(new)} new finding(s)")
+    failed = bool(new) or (options.strict and bool(stale))
+    print(status + (" — FAIL" if failed and options.strict else ""))
+    return 1 if (options.strict and failed) else (1 if new else 0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
