@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.serve import (
     AdmissionController,
+    AutoscalerPolicy,
     FleetConfig,
     TenantBudget,
     TraceConfig,
@@ -39,17 +40,31 @@ def _peak_rss_mb() -> float:
 
 
 def test_streaming_serve_throughput(capsys):
-    """Time the 10k and 1M traces end to end; persist the record."""
+    """Time the 10k and 1M traces end to end; persist the record.
+
+    The 1M trace runs twice: on the static 16-chip fleet, and
+    autoscaled from 4 clusters (the reactive controller makes a scale
+    decision after every event, so its overhead is exactly what the
+    autoscale floor in ``tools/check_bench.py`` guards).
+    """
     points = []
-    for jobs in TRACE_SIZES:
+    runs = [(jobs, None) for jobs in TRACE_SIZES]
+    runs.append((TRACE_SIZES[-1],
+                 AutoscalerPolicy(max_clusters=64,
+                                  provision_delay_s=30.0,
+                                  cooldown_s=30.0)))
+    for jobs, autoscaler in runs:
         start = time.perf_counter()
         trace = generate_trace_arrays(TraceConfig(
             jobs=jobs, seed=7, mean_interarrival_s=MEAN_INTERARRIVAL_S))
         admission = AdmissionController(TenantBudget(epsilon=3.0))
         decisions = admission.admit_batch(trace)
+        fleet = FleetConfig(chips=16) if autoscaler is None \
+            else FleetConfig(chips=4)
         report = simulate_fleet_streaming(
-            trace, FleetConfig(chips=16), policy="fifo",
-            admission=admission, decisions=decisions)
+            trace, fleet, policy="fifo",
+            admission=admission, decisions=decisions,
+            autoscaler=autoscaler)
         wall = time.perf_counter() - start
 
         # Streaming contract: every job accounted for, no per-job
@@ -59,15 +74,21 @@ def test_streaming_serve_throughput(capsys):
         assert report.records == ()
         for usage in report.tenants:
             assert usage.epsilon_spent <= usage.budget_epsilon + 1e-9
+        if autoscaler is not None:
+            assert report.scale_events
+            assert report.chip_hours > 0.0
 
         points.append({
             "jobs": jobs,
+            "autoscale": autoscaler is not None,
             "wall_seconds": wall,
             "jobs_per_sec": jobs / wall,
             "peak_rss_mb": _peak_rss_mb(),
             "completed": report.completed,
             "rejected": report.rejected,
             "wait_p99_s": report.wait_p99_s,
+            "peak_clusters": report.peak_clusters,
+            "chip_hours": report.chip_hours,
         })
 
     payload = {
@@ -80,7 +101,8 @@ def test_streaming_serve_throughput(capsys):
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     with capsys.disabled():
         for point in points:
-            print(f"\nserve streaming — {point['jobs']:,} jobs in "
+            tag = " autoscaled" if point["autoscale"] else ""
+            print(f"\nserve streaming — {point['jobs']:,}{tag} jobs in "
                   f"{point['wall_seconds']:.2f}s "
                   f"({point['jobs_per_sec']:,.0f} jobs/s, peak RSS "
                   f"{point['peak_rss_mb']:.0f} MB) -> {BENCH_JSON.name}")

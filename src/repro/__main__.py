@@ -9,6 +9,7 @@ Usage:
     python -m repro design-space --heights 64  # PE-geometry sweep
     python -m repro scaling --chips 1 2 4 8    # multi-chip scaling
     python -m repro serve --trace-jobs 200     # fleet serving simulator
+    python -m repro capacity --max-p99-wait 60 # fleet capacity planner
 """
 
 from __future__ import annotations
@@ -124,6 +125,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     try:
+        autoscale = None
+        if args.autoscale:
+            from repro.serve import AutoscalerPolicy
+            autoscale = AutoscalerPolicy(
+                max_clusters=args.autoscale_max,
+                provision_delay_s=args.provision_delay,
+                target_p99_wait_s=args.autoscale_p99,
+            )
         rows = serve.run(
             policies=tuple(args.policy) if args.policy else None,
             trace_jobs=args.trace_jobs,
@@ -138,6 +147,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             epsilon_budget=args.epsilon_budget,
             delta=args.delta,
             streaming=args.streaming,
+            trace_shape=args.trace_shape,
+            mean_interarrival_s=args.mean_interarrival,
+            autoscale=autoscale,
             cache=cache,
         )
     except ValueError as error:
@@ -145,6 +157,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     print(serve.render(rows))
     return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.experiments import capacity
+    from repro.experiments.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        result = capacity.run(
+            trace_jobs=args.trace_jobs,
+            seed=args.seed,
+            trace_shape=args.trace_shape,
+            mean_interarrival_s=args.mean_interarrival,
+            max_p99_wait_s=args.max_p99_wait,
+            target_jobs_per_s=args.target_jobs_per_s,
+            chips_per_cluster=args.chips_per_cluster,
+            topology=args.topology,
+            chips_per_node=args.chips_per_node,
+            bucket_bytes=(int(args.bucket_mb * 2**20)
+                          if args.bucket_mb is not None else None),
+            overlap=args.overlap,
+            policy=args.policy,
+            epsilon_budget=args.epsilon_budget,
+            delta=args.delta,
+            max_clusters=args.max_clusters,
+            cache=cache,
+        )
+    except ValueError as error:
+        print(f"capacity: {error}", file=sys.stderr)
+        return 2
+    print(capacity.render(result))
+    return 0 if result["feasible"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -287,9 +331,101 @@ def main(argv: list[str] | None = None) -> int:
                             "(default: 3.0)")
     serve.add_argument("--delta", type=float, default=1e-5,
                        help="per-tenant delta (default: 1e-5)")
+    serve.add_argument("--trace-shape", default="poisson",
+                       choices=["poisson", "diurnal", "bursty",
+                                "multiregion"],
+                       help="arrival-process shape of the synthetic "
+                            "trace (default: poisson)")
+    serve.add_argument("--mean-interarrival", type=float, default=8.0,
+                       metavar="S",
+                       help="mean seconds between arrivals, any shape "
+                            "(default: 8.0)")
+    serve.add_argument("--autoscale", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="scale clusters up on load and retire them "
+                            "when idle instead of simulating a static "
+                            "fleet")
+    serve.add_argument("--autoscale-max", type=int, default=64,
+                       metavar="N",
+                       help="cluster ceiling while autoscaling "
+                            "(default: 64)")
+    serve.add_argument("--provision-delay", type=float, default=60.0,
+                       metavar="S",
+                       help="seconds between requesting a cluster and "
+                            "it accepting work (default: 60)")
+    serve.add_argument("--autoscale-p99", type=float, default=None,
+                       metavar="S",
+                       help="also scale up when the streaming p99 "
+                            "queueing wait exceeds this many seconds "
+                            "(default: queue-depth trigger only)")
     serve.add_argument("--cache-dir", default=None,
                        help="persist per-config step latencies as "
                             "JSON under this directory")
+    capacity = sub.add_parser(
+        "capacity",
+        help="smallest fleet meeting a p99-wait/throughput SLO "
+             "(doubling + bisection over streaming runs)")
+    capacity.add_argument("--jobs", "--trace-jobs", dest="trace_jobs",
+                          type=int, default=20_000, metavar="N",
+                          help="synthetic trace length (default: 20000)")
+    capacity.add_argument("--seed", type=int, default=7,
+                          help="trace generator seed (default: 7)")
+    capacity.add_argument("--trace-shape", default="poisson",
+                          choices=["poisson", "diurnal", "bursty",
+                                   "multiregion"],
+                          help="arrival-process shape (default: poisson)")
+    capacity.add_argument("--mean-interarrival", type=float, default=1.0,
+                          metavar="S",
+                          help="mean seconds between arrivals "
+                               "(default: 1.0)")
+    capacity.add_argument("--max-p99-wait", type=float, default=120.0,
+                          metavar="S",
+                          help="SLO: p99 queueing wait ceiling in "
+                               "seconds (default: 120)")
+    capacity.add_argument("--target-jobs-per-s", type=float, default=None,
+                          metavar="T",
+                          help="SLO: completed jobs per second of "
+                               "makespan (default: no throughput floor)")
+    capacity.add_argument("--chips-per-cluster", type=int, default=1,
+                          metavar="N",
+                          help="chips per job-granularity cluster "
+                               "(default: 1)")
+    capacity.add_argument("--policy", default="fifo",
+                          choices=["fifo", "sjf", "budget"],
+                          help="scheduling policy under test "
+                               "(default: fifo)")
+    capacity.add_argument("--topology",
+                          choices=["ring", "all_to_all", "hierarchical"],
+                          default="ring",
+                          help="intra-cluster interconnect topology")
+    capacity.add_argument("--chips-per-node", type=int, default=1,
+                          metavar="K",
+                          help="hierarchical-island size; must divide "
+                               "--chips-per-cluster (default: 1)")
+    capacity.add_argument("--bucket-mb", type=float, default=None,
+                          metavar="MB",
+                          help="gradient-bucket size in MiB for the "
+                               "overlap-aware allreduce model")
+    capacity.add_argument("--overlap", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="hide bucketed gradient allreduces "
+                               "behind backward compute in service-"
+                               "time predictions")
+    capacity.add_argument("--epsilon-budget", type=float, default=None,
+                          metavar="EPS",
+                          help="per-tenant lifetime epsilon budget "
+                               "(default: the admission controller's "
+                               "3.0)")
+    capacity.add_argument("--delta", type=float, default=1e-5,
+                          help="per-tenant delta (default: 1e-5)")
+    capacity.add_argument("--max-clusters", type=int, default=4096,
+                          metavar="N",
+                          help="search ceiling; an infeasible SLO "
+                               "reports this fleet and exits 1 "
+                               "(default: 4096)")
+    capacity.add_argument("--cache-dir", default=None,
+                          help="persist per-config step latencies as "
+                               "JSON under this directory")
     args = parser.parse_args(argv)
     handlers = {
         "models": _cmd_models,
@@ -299,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         "design-space": _cmd_design_space,
         "scaling": _cmd_scaling,
         "serve": _cmd_serve,
+        "capacity": _cmd_capacity,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ Module              Reproduces
 ``design_space``    Beyond the paper: PE-array geometry sweep
 ``scaling``         Beyond the paper: multi-chip DP-SGD scaling
 ``serve``           Beyond the paper: multi-tenant fleet serving
+``capacity``        Beyond the paper: fleet capacity planning
 ==================  ==========================================
 
 Each module exposes ``run()`` returning structured results and
@@ -27,6 +28,7 @@ Each module exposes ``run()`` returning structured results and
 
 from repro.experiments import (
     ablation,
+    capacity,
     design_space,
     fig04_memory,
     gemm_sweep,
@@ -65,6 +67,7 @@ ALL_EXPERIMENTS = {
     "design_space": design_space,
     "scaling": scaling,
     "serve": serve,
+    "capacity": capacity,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

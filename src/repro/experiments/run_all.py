@@ -22,7 +22,7 @@ from repro.experiments import ALL_EXPERIMENTS, runner
 
 _ORDER = ("maxbatch", "fig04", "fig05", "fig07", "table1", "fig13",
           "fig14", "fig15", "fig16", "table3", "fig17", "sensitivity",
-          "ppu_traffic", "scaling", "serve")
+          "ppu_traffic", "scaling", "serve", "capacity")
 
 
 def _render_one(key: str) -> tuple[str, float, str]:

@@ -21,8 +21,13 @@ the choice.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.experiments import runner
 from repro.experiments.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve import AutoscalerPolicy
 
 # repro.serve is imported lazily inside run()/render(): the serving
 # layer itself uses the experiment runner and report helpers, so a
@@ -50,6 +55,9 @@ def run(
     epsilon_budget: float = DEFAULT_EPSILON_BUDGET,
     delta: float = DEFAULT_DELTA,
     streaming: bool | None = None,
+    trace_shape: str = "poisson",
+    mean_interarrival_s: float = 8.0,
+    autoscale: "AutoscalerPolicy | None" = None,
     cache: "runner.ResultCache | None" = None,
 ) -> list[dict]:
     """One row (fleet-report summary dict) per scheduling policy.
@@ -69,6 +77,12 @@ def run(
     :data:`STREAMING_THRESHOLD` jobs up.  The streaming path shares
     one admission pass across policies — admission happens at arrival
     and is therefore policy-invariant.
+
+    ``trace_shape`` / ``mean_interarrival_s`` pick the arrival
+    process (:data:`repro.serve.TRACE_SHAPES`); ``autoscale`` (an
+    :class:`repro.serve.AutoscalerPolicy`) turns the static fleet
+    into a reactive one — both simulators drive the identical scaling
+    state, so the comparison stays policy-apples-to-apples.
     """
     from repro.serve import (
         AdmissionController,
@@ -88,7 +102,8 @@ def run(
         raise ValueError("policies must name at least one policy")
     if streaming is None:
         streaming = trace_jobs >= STREAMING_THRESHOLD
-    config = TraceConfig(jobs=trace_jobs, seed=seed)
+    config = TraceConfig(jobs=trace_jobs, seed=seed, shape=trace_shape,
+                         mean_interarrival_s=mean_interarrival_s)
     fleet = FleetConfig(chips=chips, chips_per_cluster=chips_per_cluster,
                         topology=topology, chips_per_node=chips_per_node,
                         bucket_bytes=bucket_bytes, overlap=overlap)
@@ -101,7 +116,7 @@ def run(
         for policy in policies:
             report = simulate_fleet_streaming(
                 trace, fleet, policy=policy, admission=admission,
-                decisions=decisions, cache=cache)
+                decisions=decisions, autoscaler=autoscale, cache=cache)
             rows.append(report.to_dict())
         return rows
     trace = generate_trace(config)
@@ -109,7 +124,8 @@ def run(
         admission = AdmissionController(
             TenantBudget(epsilon=epsilon_budget, delta=delta))
         report = simulate_fleet(trace, fleet, policy=policy,
-                                admission=admission, cache=cache)
+                                admission=admission, autoscaler=autoscale,
+                                cache=cache)
         rows.append(report.to_dict())
     return rows
 
@@ -119,16 +135,20 @@ def render(rows: list[dict] | None = None) -> str:
     from repro.serve.metrics import TenantUsage, render_tenant_table
 
     rows = rows if rows is not None else run()
+    autoscaled = any(row.get("scale_events") for row in rows)
     table = [
         [row["policy"], row["submitted"], row["completed"],
          row["truncated"], row["rejected"], row["wait_p50_s"],
          row["wait_p95_s"], row["wait_p99_s"],
          100.0 * row["utilization"], row["throughput_jobs_per_h"]]
+        + ([row["peak_clusters"], len(row["scale_events"]),
+            row["chip_hours"], row["cost"]] if autoscaled else [])
         for row in rows
     ]
     policy_table = format_table(
         ["Policy", "Jobs", "Done", "Trunc", "Rej", "p50 wait s",
-         "p95 wait s", "p99 wait s", "Util %", "Jobs/h"],
+         "p95 wait s", "p99 wait s", "Util %", "Jobs/h"]
+        + (["Peak", "Scales", "Chip-h", "Cost"] if autoscaled else []),
         table,
         title=(f"Fleet serving: {rows[0]['chips']} chips, "
                f"{rows[0]['n_clusters']} clusters"

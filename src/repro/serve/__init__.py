@@ -8,6 +8,12 @@ clusters (:mod:`repro.serve.scheduler`) and fleet-level metrics
 (:mod:`repro.serve.metrics`).  See ``docs/serving.md``.
 """
 
+from repro.serve.autoscale import (
+    SCALE_REASONS,
+    AutoscalerPolicy,
+    AutoscalerState,
+    ScaleEvent,
+)
 from repro.serve.budget import (
     AdmissionController,
     AdmissionDecision,
@@ -15,8 +21,10 @@ from repro.serve.budget import (
     BatchAdmissionDecisions,
     TenantBudget,
 )
+from repro.serve.capacity import CapacityPlan, CapacityProbe, plan_capacity
 from repro.serve.job import (
     JOB_ALGORITHMS,
+    TRACE_SHAPES,
     TraceArrays,
     TraceConfig,
     TrainingJob,
@@ -43,11 +51,19 @@ from repro.serve.stream import P2Quantile, StreamingStats
 
 __all__ = [
     "JOB_ALGORITHMS",
+    "TRACE_SHAPES",
     "TrainingJob",
     "TraceConfig",
     "TraceArrays",
     "generate_trace",
     "generate_trace_arrays",
+    "SCALE_REASONS",
+    "AutoscalerPolicy",
+    "AutoscalerState",
+    "ScaleEvent",
+    "CapacityPlan",
+    "CapacityProbe",
+    "plan_capacity",
     "TenantBudget",
     "AdmissionStatus",
     "AdmissionDecision",

@@ -20,16 +20,31 @@ tests rely on (same seed => identical fleet report).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 from numpy.typing import NDArray
 
 #: Algorithms a job may request; non-private SGD bypasses admission.
 JOB_ALGORITHMS = ("SGD", "DP-SGD", "DP-SGD(R)")
+
+#: Arrival-process shapes the trace generators understand.
+#:
+#: ``poisson``
+#:     Homogeneous Poisson arrivals (the original model).
+#: ``diurnal``
+#:     Inhomogeneous Poisson with a sinusoidal day/night rate.
+#: ``bursty``
+#:     Two-state Markov-modulated Poisson process: long calm
+#:     stretches punctuated by short high-rate bursts.
+#: ``multiregion``
+#:     Superposition of phase-shifted diurnal regions, each owning a
+#:     slice of the tenant population.
+TRACE_SHAPES = ("poisson", "diurnal", "bursty", "multiregion")
 
 
 @dataclass(frozen=True)
@@ -113,11 +128,30 @@ class TraceConfig:
 
     jobs: int = 60
     seed: int = 7
-    #: Mean inter-arrival time of the Poisson process, seconds.  The
+    #: Mean inter-arrival time of the arrival process, seconds.  The
     #: default loads the demo's 4-cluster fleet to ~40% utilization
     #: with bursty arrivals — enough contention that queueing waits
     #: (and therefore policy choice) are visible in the fleet report.
+    #: Every shape is normalized to this long-run mean rate, so
+    #: switching shapes changes *when* jobs arrive, not how many.
     mean_interarrival_s: float = 8.0
+    #: Arrival-process shape; one of :data:`TRACE_SHAPES`.
+    shape: str = "poisson"
+    #: Day-length of the diurnal / multiregion sinusoid, seconds.
+    diurnal_period_s: float = 3600.0
+    #: Relative swing of the diurnal rate: the instantaneous rate is
+    #: ``base x (1 + amplitude x sin(...))``, so 0 is flat Poisson and
+    #: 1 swings between zero and double the mean rate.
+    diurnal_amplitude: float = 0.8
+    #: Burst-state arrival rate as a multiple of the calm-state rate.
+    burst_rate_ratio: float = 8.0
+    #: Long-run fraction of time the bursty process spends bursting.
+    burst_fraction: float = 0.1
+    #: Mean duration of one burst, seconds.
+    burst_mean_s: float = 60.0
+    #: Phase-shifted regions of the ``multiregion`` shape; region
+    #: ``r`` owns tenants ``{i : i % regions == r}``.
+    regions: int = 3
     n_tenants: int = 4
     models: tuple[str, ...] = ("SqueezeNet", "MobileNet", "BERT-base")
     algorithms: tuple[str, ...] = ("DP-SGD(R)", "DP-SGD", "SGD")
@@ -135,6 +169,31 @@ class TraceConfig:
             raise ValueError(f"jobs must be >= 0, got {self.jobs}")
         if self.mean_interarrival_s <= 0:
             raise ValueError("mean_interarrival_s must be positive")
+        if self.shape not in TRACE_SHAPES:
+            raise ValueError(f"unknown trace shape {self.shape!r}; "
+                             f"choose from {TRACE_SHAPES}")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1], got "
+                f"{self.diurnal_amplitude}")
+        if self.burst_rate_ratio < 1.0:
+            raise ValueError(
+                f"burst_rate_ratio must be >= 1, got "
+                f"{self.burst_rate_ratio}")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError(
+                f"burst_fraction must be in (0, 1), got "
+                f"{self.burst_fraction}")
+        if self.burst_mean_s <= 0:
+            raise ValueError("burst_mean_s must be positive")
+        if self.regions < 1:
+            raise ValueError(f"regions must be >= 1, got {self.regions}")
+        if self.shape == "multiregion" and self.n_tenants < self.regions:
+            raise ValueError(
+                f"multiregion needs n_tenants >= regions, got "
+                f"{self.n_tenants} tenants over {self.regions} regions")
         if self.n_tenants < 1:
             raise ValueError(f"n_tenants must be >= 1, got {self.n_tenants}")
         if len(self.algorithms) != len(self.algorithm_weights):
@@ -151,18 +210,133 @@ class TraceConfig:
                      for i in range(self.n_tenants))
 
 
+def _diurnal_rate(config: TraceConfig, t_s: float, *, base_hz: float,
+                  phase: float = 0.0) -> float:
+    """Instantaneous arrival rate of a (phase-shifted) diurnal cycle."""
+    return base_hz * (1.0 + config.diurnal_amplitude * math.sin(
+        2.0 * math.pi * (t_s / config.diurnal_period_s + phase)))
+
+
+def _bursty_rates(config: TraceConfig) -> tuple[float, float]:
+    """(calm, burst) arrival rates whose time-average is the mean rate.
+
+    Solves ``f x burst + (1 - f) x calm = 1 / mean_interarrival`` with
+    ``burst = ratio x calm``, so the MMPP delivers the same long-run
+    job count as the Poisson shape.
+    """
+    base_hz = 1.0 / config.mean_interarrival_s
+    fraction = config.burst_fraction
+    calm_hz = base_hz / (1.0 - fraction
+                         + fraction * config.burst_rate_ratio)
+    return calm_hz, calm_hz * config.burst_rate_ratio
+
+
+def _region_tenants(config: TraceConfig, region: int) -> tuple[str, ...]:
+    """Tenants owned by ``region``: every ``regions``-th index."""
+    return config.tenants[region::config.regions]
+
+
+def _poisson_arrivals(config: TraceConfig, rng: random.Random
+                      ) -> Iterator[tuple[float, int | None]]:
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(1.0 / config.mean_interarrival_s)
+        yield clock, None
+
+
+def _thinned_arrival(config: TraceConfig, rng: random.Random,
+                     clock: float, *, base_hz: float, phase: float
+                     ) -> float:
+    """Next arrival of one diurnal cycle, by Lewis-Shedler thinning."""
+    peak_hz = base_hz * (1.0 + config.diurnal_amplitude)
+    while True:
+        clock += rng.expovariate(peak_hz)
+        if rng.random() * peak_hz <= _diurnal_rate(
+                config, clock, base_hz=base_hz, phase=phase):
+            return clock
+
+
+def _diurnal_arrivals(config: TraceConfig, rng: random.Random
+                      ) -> Iterator[tuple[float, int | None]]:
+    base_hz = 1.0 / config.mean_interarrival_s
+    clock = 0.0
+    while True:
+        clock = _thinned_arrival(config, rng, clock,
+                                 base_hz=base_hz, phase=0.0)
+        yield clock, None
+
+
+def _bursty_arrivals(config: TraceConfig, rng: random.Random
+                     ) -> Iterator[tuple[float, int | None]]:
+    calm_hz, burst_hz = _bursty_rates(config)
+    fraction = config.burst_fraction
+    # Mean sojourns chosen so the stationary burst fraction is f.
+    calm_mean_s = config.burst_mean_s * (1.0 - fraction) / fraction
+    in_burst = False
+    clock = 0.0
+    switch_s = rng.expovariate(1.0 / calm_mean_s)
+    while True:
+        while True:
+            gap = rng.expovariate(burst_hz if in_burst else calm_hz)
+            if clock + gap < switch_s:
+                clock += gap
+                break
+            # State flips before the candidate arrival; the
+            # exponential is memoryless, so redraw in the new state.
+            clock = switch_s
+            in_burst = not in_burst
+            switch_s = clock + rng.expovariate(
+                1.0 / (config.burst_mean_s if in_burst else calm_mean_s))
+        yield clock, None
+
+
+def _multiregion_arrivals(config: TraceConfig, rng: random.Random
+                          ) -> Iterator[tuple[float, int | None]]:
+    regions = config.regions
+    base_hz = 1.0 / config.mean_interarrival_s / regions
+    # Evenly spaced phases: region peaks cover the day and (for
+    # regions >= 2) the superposed rate stays at the configured mean.
+    nxt = [_thinned_arrival(config, rng, 0.0, base_hz=base_hz,
+                            phase=region / regions)
+           for region in range(regions)]
+    while True:
+        region = min(range(regions), key=lambda r: nxt[r])
+        clock = nxt[region]
+        nxt[region] = _thinned_arrival(config, rng, clock,
+                                       base_hz=base_hz,
+                                       phase=region / regions)
+        yield clock, region
+
+
+_SCALAR_ARRIVALS = {
+    "poisson": _poisson_arrivals,
+    "diurnal": _diurnal_arrivals,
+    "bursty": _bursty_arrivals,
+    "multiregion": _multiregion_arrivals,
+}
+
+
 def generate_trace(config: TraceConfig = TraceConfig()
                    ) -> tuple[TrainingJob, ...]:
-    """Draw a deterministic synthetic job stream from ``config``."""
+    """Draw a deterministic synthetic job stream from ``config``.
+
+    The arrival process follows ``config.shape`` (see
+    :data:`TRACE_SHAPES`); the ``poisson`` stream is draw-for-draw
+    identical to what this generator always produced.  Under
+    ``multiregion`` each arrival carries its region, and the tenant is
+    drawn from that region's slice of the tenant population.
+    """
     rng = random.Random(config.seed)
     lo, hi = config.steps_range
-    clock = 0.0
+    arrivals = _SCALAR_ARRIVALS[config.shape](config, rng)
     jobs = []
     for job_id in range(config.jobs):
-        clock += rng.expovariate(1.0 / config.mean_interarrival_s)
+        clock, region = next(arrivals)
+        tenant = rng.choice(config.tenants if region is None
+                            else _region_tenants(config, region))
         jobs.append(TrainingJob(
             job_id=job_id,
-            tenant=rng.choice(config.tenants),
+            tenant=tenant,
             model=rng.choice(config.models),
             algorithm=rng.choices(config.algorithms,
                                   weights=config.algorithm_weights)[0],
@@ -261,6 +435,79 @@ class TraceArrays:
         )
 
 
+def _thinned_arrivals_array(config: TraceConfig, rng: np.random.Generator,
+                            jobs: int, *, base_hz: float, phase: float
+                            ) -> NDArray[Any]:
+    """``jobs`` diurnal arrival times by chunked Lewis-Shedler thinning.
+
+    Candidates stream at the peak rate in chunks; each keeps with
+    probability ``rate(t) / peak`` — the vector form of the scalar
+    sampler's accept loop.
+    """
+    peak_hz = base_hz * (1.0 + config.diurnal_amplitude)
+    kept: list[NDArray[Any]] = [np.zeros(0)]
+    have = 0
+    clock = 0.0
+    while have < jobs:
+        chunk = max(1024, 2 * (jobs - have))
+        times = clock + np.cumsum(rng.exponential(1.0 / peak_hz, chunk))
+        rate = base_hz * (1.0 + config.diurnal_amplitude * np.sin(
+            2.0 * np.pi * (times / config.diurnal_period_s + phase)))
+        accepted = times[rng.random(chunk) * peak_hz <= rate]
+        kept.append(accepted)
+        have += accepted.shape[0]
+        clock = float(times[-1])
+    return np.concatenate(kept)[:jobs]
+
+
+def _bursty_arrivals_array(config: TraceConfig, rng: np.random.Generator,
+                           jobs: int) -> NDArray[Any]:
+    """``jobs`` MMPP arrival times, one sojourn interval at a time.
+
+    Conditioned on a sojourn, arrivals are a Poisson count placed
+    uniformly in the interval — equivalent in law to the scalar
+    competing-exponentials sampler, and vectorized per interval.
+    """
+    calm_hz, burst_hz = _bursty_rates(config)
+    fraction = config.burst_fraction
+    calm_mean_s = config.burst_mean_s * (1.0 - fraction) / fraction
+    kept: list[NDArray[Any]] = [np.zeros(0)]
+    have = 0
+    clock = 0.0
+    in_burst = False
+    while have < jobs:
+        mean_s = config.burst_mean_s if in_burst else calm_mean_s
+        rate_hz = burst_hz if in_burst else calm_hz
+        duration_s = rng.exponential(mean_s)
+        count = int(rng.poisson(rate_hz * duration_s))
+        if count:
+            kept.append(clock + np.sort(rng.random(count)) * duration_s)
+            have += count
+        clock += duration_s
+        in_burst = not in_burst
+    return np.concatenate(kept)[:jobs]
+
+
+def _multiregion_arrivals_array(
+    config: TraceConfig, rng: np.random.Generator, jobs: int,
+) -> tuple[NDArray[Any], NDArray[Any]]:
+    """(arrival, region) arrays for the superposed multiregion shape.
+
+    Each region contributes ``jobs`` candidates (enough that the
+    merged first ``jobs`` are exact); a stable merge keeps ties
+    deterministic.
+    """
+    regions = config.regions
+    base_hz = 1.0 / config.mean_interarrival_s / regions
+    times = [_thinned_arrivals_array(config, rng, jobs, base_hz=base_hz,
+                                     phase=region / regions)
+             for region in range(regions)]
+    merged = np.concatenate(times)
+    labels = np.repeat(np.arange(regions, dtype=np.int32), jobs)
+    order = np.argsort(merged, kind="stable")[:jobs]
+    return merged[order], labels[order]
+
+
 def generate_trace_arrays(config: TraceConfig = TraceConfig()
                           ) -> TraceArrays:
     """Vectorized synthetic trace generation, straight into arrays.
@@ -268,7 +515,10 @@ def generate_trace_arrays(config: TraceConfig = TraceConfig()
     One NumPy pass per job attribute — Poisson arrivals are a
     ``cumsum`` over exponential inter-arrival draws, the job mix is a
     weighted categorical draw — so million-job traces generate in
-    tens of milliseconds at a flat ~50 bytes/job.  Deterministic in
+    tens of milliseconds at a flat ~50 bytes/job.  Every
+    :data:`TRACE_SHAPES` entry has a vectorized sampler here (chunked
+    thinning for diurnal, per-sojourn Poisson counts for bursty, a
+    stable ``regions``-way merge for multiregion).  Deterministic in
     ``config.seed`` (PCG64), though the stream differs from the
     scalar :func:`generate_trace` (different RNG); both are seeded,
     deterministic samplers of the same configured mix.
@@ -276,13 +526,36 @@ def generate_trace_arrays(config: TraceConfig = TraceConfig()
     rng = np.random.default_rng(config.seed)
     jobs = config.jobs
     weights = np.asarray(config.algorithm_weights, dtype=float)
+    region: NDArray[Any] | None = None
+    if config.shape == "poisson":
+        arrival = np.cumsum(
+            rng.exponential(config.mean_interarrival_s, jobs))
+    elif config.shape == "diurnal":
+        arrival = _thinned_arrivals_array(
+            config, rng, jobs,
+            base_hz=1.0 / config.mean_interarrival_s, phase=0.0)
+    elif config.shape == "bursty":
+        arrival = _bursty_arrivals_array(config, rng, jobs)
+    else:  # multiregion
+        arrival, region = _multiregion_arrivals_array(config, rng, jobs)
+    if region is None:
+        tenant = rng.integers(0, config.n_tenants, jobs, dtype=np.int32)
+    else:
+        # Region r owns tenants {i : i % regions == r}; draw uniformly
+        # within the arrival's region slice.
+        counts = np.array(
+            [len(_region_tenants(config, r))
+             for r in range(config.regions)], dtype=np.int64)
+        offset = np.floor(rng.random(jobs) * counts[region])
+        tenant = (region
+                  + config.regions * offset.astype(np.int32)).astype(
+                      np.int32)
     return TraceArrays(
         tenants=config.tenants,
         models=tuple(config.models),
         algorithms=tuple(config.algorithms),
-        arrival_s=np.cumsum(
-            rng.exponential(config.mean_interarrival_s, jobs)),
-        tenant=rng.integers(0, config.n_tenants, jobs, dtype=np.int32),
+        arrival_s=arrival,
+        tenant=tenant,
         model=rng.integers(0, len(config.models), jobs, dtype=np.int32),
         algorithm=rng.choice(
             len(config.algorithms), size=jobs,

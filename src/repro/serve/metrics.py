@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.experiments.report import format_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.autoscale import AutoscalerState, ScaleEvent
     from repro.serve.budget import AdmissionController
     from repro.serve.scheduler import JobRecord
     from repro.serve.stream import StreamingStats
@@ -61,7 +62,14 @@ class TenantUsage:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Aggregate outcome of one fleet simulation."""
+    """Aggregate outcome of one fleet simulation.
+
+    ``chips`` / ``n_clusters`` describe the *initial* fleet; when a
+    run autoscales, ``scale_events`` logs every capacity change,
+    ``peak_clusters`` the high-water mark, and ``chip_hours`` /
+    ``cost`` the integral of active capacity over the run (zero on
+    static runs, where capacity is a configuration, not an outcome).
+    """
 
     policy: str
     chips: int
@@ -79,6 +87,10 @@ class FleetReport:
     wait_p99_s: float
     tenants: tuple[TenantUsage, ...]
     records: tuple[JobRecord, ...] = ()
+    scale_events: tuple[ScaleEvent, ...] = ()
+    peak_clusters: int = 0
+    chip_hours: float = 0.0
+    cost: float = 0.0
 
     def tenant(self, name: str) -> TenantUsage:
         for usage in self.tenants:
@@ -103,6 +115,11 @@ class FleetReport:
             "wait_p50_s": self.wait_p50_s,
             "wait_p95_s": self.wait_p95_s,
             "wait_p99_s": self.wait_p99_s,
+            "scale_events": [event.to_dict()
+                             for event in self.scale_events],
+            "peak_clusters": self.peak_clusters,
+            "chip_hours": self.chip_hours,
+            "cost": self.cost,
             "tenants": [usage.to_dict() for usage in self.tenants],
         }
 
@@ -118,9 +135,15 @@ class FleetReport:
             f"chip utilization {self.utilization * 100:.1f}%",
             f"Queueing wait p50/p95/p99: {self.wait_p50_s:.1f} / "
             f"{self.wait_p95_s:.1f} / {self.wait_p99_s:.1f} s",
-            "",
-            render_tenant_table(self.tenants),
         ]
+        if self.scale_events:
+            ups = sum(1 for e in self.scale_events if e.action == "up")
+            downs = len(self.scale_events) - ups
+            lines.append(
+                f"Autoscale: {ups} up / {downs} down decisions, peak "
+                f"{self.peak_clusters} clusters, {self.chip_hours:.1f} "
+                f"chip-hours (cost {self.cost:.2f})")
+        lines += ["", render_tenant_table(self.tenants)]
         return "\n".join(lines)
 
 
@@ -152,6 +175,33 @@ def tenant_usages(admission: "AdmissionController"
     )
 
 
+def _utilization(busy_s: float, n_clusters: int, makespan_s: float,
+                 autoscale: "AutoscalerState | None") -> float:
+    """Busy cluster-time over available cluster-time.
+
+    Static fleets offer ``n_clusters x makespan``; autoscaled fleets
+    offer the chip-hour integral the autoscaler accrued (so turning
+    idle clusters off *raises* utilization, as it should).
+    """
+    if autoscale is not None:
+        available_s = (autoscale.chip_hours * 3600.0
+                       / autoscale.chips_per_cluster)
+        return busy_s / available_s if available_s > 0 else 0.0
+    return (busy_s / (n_clusters * makespan_s)) if makespan_s > 0 else 0.0
+
+
+def _scale_fields(autoscale: "AutoscalerState | None", n_clusters: int
+                  ) -> dict[str, Any]:
+    """FleetReport autoscaling fields from a finished state (or not)."""
+    if autoscale is None:
+        return {"scale_events": (), "peak_clusters": n_clusters,
+                "chip_hours": 0.0, "cost": 0.0}
+    return {"scale_events": tuple(autoscale.events),
+            "peak_clusters": autoscale.peak_clusters,
+            "chip_hours": autoscale.chip_hours,
+            "cost": autoscale.cost}
+
+
 def build_streaming_report(
     policy: str,
     chips: int,
@@ -166,6 +216,7 @@ def build_streaming_report(
     busy_s: float,
     waits: "StreamingStats",
     admission: "AdmissionController",
+    autoscale: "AutoscalerState | None" = None,
 ) -> FleetReport:
     """Fold streaming accumulators into a :class:`FleetReport`.
 
@@ -174,11 +225,11 @@ def build_streaming_report(
     queueing delays (its percentiles are exact for small traces, P²
     estimates past the warmup), and no per-job records are attached.
     """
-    utilization = (busy_s / (n_clusters * makespan_s)) \
-        if makespan_s > 0 else 0.0
+    utilization = _utilization(busy_s, n_clusters, makespan_s, autoscale)
     throughput = (completed / makespan_s * 3600.0) if makespan_s > 0 \
         else 0.0
     return FleetReport(
+        **_scale_fields(autoscale, n_clusters),
         policy=policy,
         chips=chips,
         n_clusters=n_clusters,
@@ -205,6 +256,7 @@ def build_report(
     chips_per_cluster: int,
     records: "Sequence[JobRecord]",
     admission: "AdmissionController",
+    autoscale: "AutoscalerState | None" = None,
 ) -> FleetReport:
     """Fold finished job records + the budget ledger into a report."""
     finished = [r for r in records if r.finish_s is not None]
@@ -212,10 +264,11 @@ def build_report(
     makespan = max((r.finish_s for r in finished
                     if r.finish_s is not None), default=0.0)
     busy = sum(r.service_s for r in finished)
-    utilization = (busy / (n_clusters * makespan)) if makespan > 0 else 0.0
+    utilization = _utilization(busy, n_clusters, makespan, autoscale)
     throughput = (len(finished) / makespan * 3600.0) if makespan > 0 else 0.0
     tenants = tenant_usages(admission)
     return FleetReport(
+        **_scale_fields(autoscale, n_clusters),
         policy=policy,
         chips=chips,
         n_clusters=n_clusters,

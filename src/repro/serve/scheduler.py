@@ -45,6 +45,7 @@ from numpy.typing import NDArray
 
 from repro.arch.interconnect import InterconnectConfig
 from repro.experiments import runner
+from repro.serve.autoscale import AutoscalerPolicy, AutoscalerState
 from repro.serve.budget import (
     AdmissionController,
     AdmissionDecision,
@@ -199,38 +200,63 @@ def _policy_key(
     raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
 
 
+#: Same-timestamp event order: arrivals, then provisioned clusters
+#: coming online, then completions.  Both simulators implement this
+#: order, which keeps their schedules identical under autoscaling.
+_PRIO_ARRIVAL, _PRIO_PROVISION, _PRIO_COMPLETION = 0, 1, 2
+
+
 def simulate_fleet(
     trace: Sequence[TrainingJob],
     fleet: FleetConfig = FleetConfig(),
     *,
     policy: str = "fifo",
     admission: AdmissionController | None = None,
+    autoscaler: AutoscalerPolicy | None = None,
     cache: "runner.ResultCache | None" = None,
+    dispatch_log: "list[tuple[int, float]] | None" = None,
 ) -> FleetReport:
     """Replay ``trace`` on ``fleet`` under ``policy`` and report.
 
     Deterministic: the same trace, fleet, policy and admission
     configuration always produce the identical report.
+
+    ``autoscaler`` turns the static cluster pool into a reactive one
+    (see :mod:`repro.serve.autoscale`): after each event's dispatch
+    loop settles, the policy may request new clusters (online after
+    its provisioning delay) or retire idle ones, and the report gains
+    scale events plus chip-hour cost.  ``dispatch_log``, when given,
+    receives ``(job_id, start_s)`` per dispatch in dispatch order —
+    the observable the streaming-equivalence tests pin.
     """
     if admission is None:
         admission = AdmissionController()
     select_key = _policy_key(policy, admission)
+    state = (AutoscalerState(autoscaler,
+                             initial_clusters=fleet.n_clusters,
+                             chips_per_cluster=fleet.chips_per_cluster)
+             if autoscaler is not None else None)
 
-    # Event heap: (time, seq, kind, payload).  seq makes simultaneous
-    # events deterministic; payloads are never compared.
-    events: list[tuple[float, int, str, JobRecord | TrainingJob]] = []
+    # Event heap: (time, priority, seq, kind, payload).  priority
+    # orders simultaneous events across kinds, seq within a kind;
+    # payloads are never compared.
+    events: list[tuple[float, int, int, str,
+                       JobRecord | TrainingJob | None]] = []
     seq = 0
     for job in sorted(trace, key=lambda j: (j.arrival_s, j.job_id)):
-        heapq.heappush(events, (job.arrival_s, seq, "arrival", job))
+        heapq.heappush(events,
+                       (job.arrival_s, _PRIO_ARRIVAL, seq, "arrival", job))
         seq += 1
 
     idle: list[int] = list(range(fleet.n_clusters))
     heapq.heapify(idle)
+    next_cluster = fleet.n_clusters
     queue: list[JobRecord] = []
     records: list[JobRecord] = []
+    now = 0.0
 
     while events:
-        now, _, kind, payload = heapq.heappop(events)
+        now, _, _, kind, payload = heapq.heappop(events)
         if kind == "arrival":
             assert isinstance(payload, TrainingJob)
             job = payload
@@ -241,6 +267,11 @@ def simulate_fleet(
                 record.service_s = decision.granted_steps * \
                     predict_step_seconds(fleet, job, cache=cache)
                 queue.append(record)
+        elif kind == "provision":
+            assert state is not None
+            state.activate_one(now)
+            heapq.heappush(idle, next_cluster)
+            next_cluster += 1
         else:  # completion
             assert isinstance(payload, JobRecord)
             record = payload
@@ -252,9 +283,31 @@ def simulate_fleet(
             nxt.cluster_index = heapq.heappop(idle)
             nxt.start_s = now
             nxt.finish_s = now + nxt.service_s
-            heapq.heappush(events, (nxt.finish_s, seq, "completion", nxt))
+            heapq.heappush(events, (nxt.finish_s, _PRIO_COMPLETION, seq,
+                                    "completion", nxt))
             seq += 1
+            if state is not None:
+                state.record_wait(nxt.wait_s)
+            if dispatch_log is not None:
+                dispatch_log.append((nxt.job.job_id, now))
+        if state is not None:
+            delta = state.decide(now, len(queue), len(idle))
+            if delta > 0:
+                for _ in range(delta):
+                    heapq.heappush(
+                        events,
+                        (now + state.policy.provision_delay_s,
+                         _PRIO_PROVISION, seq, "provision", None))
+                    seq += 1
+            elif delta < 0:
+                # Retire the newest idle clusters first, keeping the
+                # base fleet's low indices stable.
+                for _ in range(-delta):
+                    idle.remove(max(idle))
+                heapq.heapify(idle)
 
+    if state is not None:
+        state.finalize(now)
     return build_report(
         policy=policy,
         chips=fleet.chips,
@@ -262,6 +315,7 @@ def simulate_fleet(
         chips_per_cluster=fleet.chips_per_cluster,
         records=records,
         admission=admission,
+        autoscale=state,
     )
 
 
@@ -346,7 +400,9 @@ def simulate_fleet_streaming(
     policy: str = "fifo",
     admission: AdmissionController | None = None,
     decisions: BatchAdmissionDecisions | None = None,
+    autoscaler: AutoscalerPolicy | None = None,
     cache: "runner.ResultCache | None" = None,
+    dispatch_log: "list[tuple[int, float]] | None" = None,
 ) -> FleetReport:
     """Replay an array trace on ``fleet`` with O(1) metric memory.
 
@@ -363,6 +419,12 @@ def simulate_fleet_streaming(
     Pass ``decisions`` to reuse one admission pass across policies
     (admission happens at arrival, so it is policy-invariant); the
     ``admission`` controller must then be the one that produced them.
+
+    ``autoscaler`` and ``dispatch_log`` mirror :func:`simulate_fleet`
+    exactly: the same :class:`~repro.serve.autoscale.AutoscalerState`
+    drives both loops through the same observation sequence, so scale
+    events, dispatch order and the chip-hour ledger are
+    decision-identical between the two simulators.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; "
@@ -372,6 +434,10 @@ def simulate_fleet_streaming(
     if decisions is None:
         decisions = admission.admit_batch(trace)
     service = _job_service_seconds(trace, decisions, fleet, cache=cache)
+    state = (AutoscalerState(autoscaler,
+                             initial_clusters=fleet.n_clusters,
+                             chips_per_cluster=fleet.chips_per_cluster)
+             if autoscaler is not None else None)
 
     total = len(trace)
     arrival = trace.arrival_s
@@ -422,7 +488,10 @@ def simulate_fleet_streaming(
         assert best is not None  # callers guarantee a queued job
         return tenant_queues[best].popleft()
 
-    waits = StreamingStats()
+    # When autoscaling, the metric accumulator IS the autoscaler's p99
+    # signal — one object, fed once per dispatch, exactly as the
+    # scalar loop feeds it through record_wait.
+    waits = state.waits if state is not None else StreamingStats()
     completions: list[float] = []
     idle = fleet.n_clusters
     busy_s = 0.0
@@ -430,34 +499,55 @@ def simulate_fleet_streaming(
     truncated = 0
     makespan = 0.0
     index = 0
+    now = 0.0
 
-    while index < total or completions:
-        # Arrivals win ties, as in the event-heap scalar scheduler.
-        if completions and (index >= total
-                            or completions[0] < arrival[index]):
-            now = heapq.heappop(completions)
-            idle += 1
-        else:
+    while index < total or completions \
+            or (state is not None and state.pending):
+        # Same-time order matches the scalar event heap: arrival,
+        # then provision, then completion (arrivals win ties).
+        t_arrival = arrival[index] if index < total else math.inf
+        t_provision = (state.next_provision_s() if state is not None
+                       else math.inf)
+        t_completion = completions[0] if completions else math.inf
+        if t_arrival <= t_provision and t_arrival <= t_completion:
             job = index
-            now = arrival[job]
+            now = float(t_arrival)
             index += 1
             tenant_spent[trace.tenant[job]] = \
                 decisions.epsilon_after[job]
             if admitted[job]:
                 push(job)
+        elif t_provision <= t_completion:
+            assert state is not None
+            now = t_provision
+            state.activate_one(now)
+            idle += 1
+        else:
+            now = heapq.heappop(completions)
+            idle += 1
         while idle and queued:
             job = pop()
             idle -= 1
-            waits.add(now - arrival[job])
-            finish = now + service[job]
+            waits.add(float(now - arrival[job]))
+            if dispatch_log is not None:
+                dispatch_log.append((job, now))
+            finish = float(now + service[job])
             heapq.heappush(completions, finish)
-            busy_s += service[job]
+            busy_s += float(service[job])
             finished += 1
             if granted[job] < trace.steps[job]:
                 truncated += 1
             if finish > makespan:
                 makespan = finish
+        if state is not None:
+            delta = state.decide(now, queued, idle)
+            if delta < 0:
+                # Retired clusters leave the idle pool immediately;
+                # scale-ups surface later as provision times.
+                idle += delta
 
+    if state is not None:
+        state.finalize(now)
     return build_streaming_report(
         policy=policy,
         chips=fleet.chips,
@@ -471,4 +561,5 @@ def simulate_fleet_streaming(
         busy_s=busy_s,
         waits=waits,
         admission=admission,
+        autoscale=state,
     )

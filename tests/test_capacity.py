@@ -1,0 +1,143 @@
+"""Capacity planner: minimality, SLO verification, search mechanics.
+
+The headline acceptance criterion: the fleet :func:`plan_capacity`
+returns must *verifiably* meet the requested SLO — its attached report
+shows a p99 queueing wait at or under the bound and (when asked) a
+completed-jobs throughput at or over the target — and it must be the
+*smallest* such fleet: the probe log has to contain an infeasible
+probe at one cluster fewer.
+"""
+
+import pytest
+
+from repro.experiments import capacity as capacity_experiment
+from repro.serve import (
+    TenantBudget,
+    TraceConfig,
+    generate_trace_arrays,
+    plan_capacity,
+)
+
+
+def _trace(jobs=2000, seed=7, mean_interarrival_s=1.0, shape="poisson"):
+    return generate_trace_arrays(TraceConfig(
+        jobs=jobs, seed=seed, shape=shape,
+        mean_interarrival_s=mean_interarrival_s))
+
+
+class TestPlanMinimality:
+    def test_plan_meets_slo_and_is_minimal(self):
+        plan = plan_capacity(_trace(), max_p99_wait_s=60.0)
+        assert plan.feasible
+        # The verification report — a fresh run of the chosen fleet —
+        # actually meets the requested SLO.
+        assert plan.report.wait_p99_s <= 60.0
+        assert plan.chips == plan.clusters
+        # Minimality: one cluster fewer was probed and found wanting.
+        by_clusters = {probe.clusters: probe for probe in plan.probes}
+        assert by_clusters[plan.clusters].feasible
+        if plan.clusters > 1:
+            assert plan.clusters - 1 in by_clusters
+            assert not by_clusters[plan.clusters - 1].feasible
+
+    def test_throughput_target_honored(self):
+        # Admit (nearly) everything; completed-jobs throughput is
+        # completed / makespan, and the makespan always includes the
+        # 2000 s arrival span plus the longest service tail, so the
+        # infinite-capacity ceiling on this trace sits near 0.47
+        # jobs/s.  Ask for a target under that ceiling.
+        open_budget = TenantBudget(epsilon=1e9)
+        target = 0.4
+        plan = plan_capacity(
+            _trace(), max_p99_wait_s=1e9, budget=open_budget,
+            target_jobs_per_s=target)
+        assert plan.feasible
+        jobs_per_s = plan.report.throughput_jobs_per_h / 3600.0
+        assert jobs_per_s >= target
+        # A pure-latency plan with the SLO wide open needs one cluster
+        # at most as large as the throughput-constrained one.
+        latency_only = plan_capacity(
+            _trace(), max_p99_wait_s=1e9, budget=open_budget)
+        assert latency_only.clusters <= plan.clusters
+
+    def test_infeasible_at_ceiling_reports_shortfall(self):
+        plan = plan_capacity(_trace(mean_interarrival_s=0.05),
+                             max_p99_wait_s=1e-6, max_clusters=4)
+        assert not plan.feasible
+        assert plan.clusters == 4
+        assert plan.report.wait_p99_s > 1e-6
+        assert all(not probe.feasible for probe in plan.probes)
+
+    def test_budget_threads_through_to_admission(self):
+        tight = plan_capacity(
+            _trace(), max_p99_wait_s=60.0,
+            budget=TenantBudget(epsilon=0.5))
+        open_ended = plan_capacity(_trace(), max_p99_wait_s=60.0,
+                                   budget=TenantBudget(epsilon=1e9))
+        assert tight.report.rejected > 0
+        assert open_ended.report.rejected == 0
+        # Fewer admitted jobs can only shrink (never grow) the fleet.
+        assert tight.clusters <= open_ended.clusters
+
+
+class TestSearchMechanics:
+    def test_probe_log_sorted_and_memoized(self):
+        plan = plan_capacity(_trace(), max_p99_wait_s=60.0)
+        sizes = [probe.clusters for probe in plan.probes]
+        assert sizes == sorted(sizes)
+        assert len(sizes) == len(set(sizes))  # each size probed once
+
+    def test_feasibility_monotone_across_probes(self):
+        """Once a size is feasible, every larger probed size is too."""
+        plan = plan_capacity(_trace(), max_p99_wait_s=60.0)
+        smallest_feasible = min(
+            probe.clusters for probe in plan.probes if probe.feasible)
+        for probe in plan.probes:
+            if probe.clusters >= smallest_feasible:
+                assert probe.feasible
+            else:
+                assert not probe.feasible
+
+    def test_one_cluster_fleet_short_circuits(self):
+        plan = plan_capacity(_trace(jobs=200, mean_interarrival_s=1e6),
+                             max_p99_wait_s=1e9)
+        assert plan.feasible
+        assert plan.clusters == 1
+        assert len(plan.probes) == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_p99_wait_s": 0.0},
+        {"max_p99_wait_s": -1.0},
+        {"max_p99_wait_s": 60.0, "target_jobs_per_s": 0.0},
+        {"max_p99_wait_s": 60.0, "max_clusters": 0},
+    ])
+    def test_bad_slo_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            plan_capacity(_trace(jobs=10), **kwargs)
+
+    def test_plan_round_trips_to_dict(self):
+        plan = plan_capacity(_trace(jobs=500), max_p99_wait_s=60.0)
+        payload = plan.to_dict()
+        assert payload["clusters"] == plan.clusters
+        assert payload["feasible"] is True
+        assert payload["report"]["wait_p99_s"] == plan.report.wait_p99_s
+        assert [p["clusters"] for p in payload["probes"]] \
+            == [p.clusters for p in plan.probes]
+
+
+class TestCapacityExperiment:
+    def test_run_and_render_smoke(self):
+        result = capacity_experiment.run(
+            trace_jobs=1500, max_p99_wait_s=60.0)
+        assert result["feasible"]
+        assert result["report"]["wait_p99_s"] <= 60.0
+        text = capacity_experiment.render(result)
+        assert "Capacity search" in text
+        assert "meet the SLO" in text
+
+    def test_render_reports_infeasible_plan(self):
+        result = capacity_experiment.run(
+            trace_jobs=1500, mean_interarrival_s=0.05,
+            max_p99_wait_s=1e-6, max_clusters=2)
+        assert not result["feasible"]
+        assert "DO NOT meet" in capacity_experiment.render(result)

@@ -63,6 +63,37 @@ class TestCli:
                          "--chips-per-cluster", "3"]) == 2
         assert "serve" in capsys.readouterr().err
 
+    def test_serve_autoscaled_diurnal(self, capsys):
+        assert cli_main(["serve", "--trace-jobs", "400",
+                         "--chips", "2", "--policy", "fifo",
+                         "--trace-shape", "diurnal",
+                         "--mean-interarrival", "2",
+                         "--autoscale", "--autoscale-max", "8",
+                         "--provision-delay", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Peak" in out and "Scales" in out
+        assert "Chip-h" in out and "Cost" in out
+
+    def test_serve_rejects_unknown_trace_shape(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--trace-shape", "weekly"])
+        assert excinfo.value.code == 2
+        assert "weekly" in capsys.readouterr().err
+
+    def test_capacity(self, capsys):
+        assert cli_main(["capacity", "--trace-jobs", "800",
+                         "--max-p99-wait", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Capacity search" in out
+        assert "meet the SLO" in out
+
+    def test_capacity_infeasible_exits_nonzero(self, capsys):
+        assert cli_main(["capacity", "--trace-jobs", "800",
+                         "--mean-interarrival", "0.1",
+                         "--max-p99-wait", "0.000001",
+                         "--max-clusters", "2"]) == 1
+        assert "DO NOT meet" in capsys.readouterr().out
+
 
 @pytest.mark.parametrize("script,arg", [
     ("quickstart.py", "SqueezeNet"),

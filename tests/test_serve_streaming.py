@@ -12,8 +12,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from functools import lru_cache
+
 from repro.serve import (
     AdmissionController,
+    AutoscalerPolicy,
     FleetConfig,
     P2Quantile,
     StreamingStats,
@@ -210,6 +213,77 @@ class TestStreamingFleetEquivalence:
             [-(-batch // 2) * 2 for batch in batches])
         for i, job in enumerate(trace):
             assert float(batched[i]) == predict_step_seconds(fleet, job)
+
+
+@lru_cache(maxsize=1)
+def _differential_trace() -> tuple[TraceArrays, tuple]:
+    """One shared 10k-job trace; arrays and jobs carry identical floats."""
+    arrays = generate_trace_arrays(
+        TraceConfig(jobs=10_000, seed=13, mean_interarrival_s=0.5))
+    return arrays, arrays.jobs()
+
+
+class TestAutoscaledDifferential:
+    """simulate_fleet vs simulate_fleet_streaming, decision for decision.
+
+    The acceptance contract of the autoscaler: on the same 10k-job
+    trace, both simulators admit the same jobs, dispatch them in the
+    same order at the same times, emit the same scale events, and
+    settle the same per-tenant ledger — for every policy, with and
+    without autoscaling.
+    """
+
+    POLICY = AutoscalerPolicy(max_clusters=32, provision_delay_s=30.0,
+                              cooldown_s=20.0, target_p99_wait_s=60.0)
+
+    @pytest.mark.parametrize("policy", ("fifo", "sjf", "budget"))
+    @pytest.mark.parametrize("autoscaled", (False, True),
+                             ids=("static", "autoscaled"))
+    def test_decision_identical_on_10k_jobs(self, policy, autoscaled):
+        arrays, jobs = _differential_trace()
+        fleet = FleetConfig(chips=4)
+        autoscaler = self.POLICY if autoscaled else None
+        scalar_log: list = []
+        streaming_log: list = []
+        scalar = simulate_fleet(
+            jobs, fleet, policy=policy, autoscaler=autoscaler,
+            admission=AdmissionController(TenantBudget(epsilon=3.0)),
+            dispatch_log=scalar_log)
+        streaming = simulate_fleet_streaming(
+            arrays, fleet, policy=policy, autoscaler=autoscaler,
+            admission=AdmissionController(TenantBudget(epsilon=3.0)),
+            dispatch_log=streaming_log)
+        # Dispatch order and times, job for job.
+        assert scalar_log == streaming_log
+        a, b = scalar.to_dict(), streaming.to_dict()
+        # Aggregates folded in a different order tolerate float drift;
+        # everything else (admissions, counts, scale events, ledger,
+        # percentiles below the warmup buffer) must match exactly.
+        for key in ("utilization", "throughput_jobs_per_h",
+                    "makespan_s", "chip_hours", "cost"):
+            assert b.pop(key) == pytest.approx(a.pop(key), rel=1e-9)
+        assert a == b
+        if autoscaled:
+            assert scalar.scale_events
+            assert scalar.peak_clusters > fleet.n_clusters
+        else:
+            assert scalar.scale_events == ()
+            assert scalar.chip_hours == 0.0
+
+    def test_static_run_identical_to_pre_autoscaler_model(self):
+        """autoscaler=None is byte-for-byte the original simulator."""
+        arrays, jobs = _differential_trace()
+        fleet = FleetConfig(chips=4)
+        log: list = []
+        default = simulate_fleet(
+            jobs, fleet, policy="fifo",
+            admission=AdmissionController(TenantBudget(epsilon=3.0)))
+        explicit = simulate_fleet(
+            jobs, fleet, policy="fifo", autoscaler=None,
+            admission=AdmissionController(TenantBudget(epsilon=3.0)),
+            dispatch_log=log)
+        assert default.to_dict() == explicit.to_dict()
+        assert len(log) == default.completed
 
 
 class TestServeExperimentStreaming:

@@ -34,6 +34,9 @@ BATCHED_VS_POOL_SPEEDUP_FLOOR = 5.0
 #: per-job throughput is the signal.
 SERVE_JOBS_PER_SEC_FLOOR_SMALL = 2_000.0
 SERVE_JOBS_PER_SEC_FLOOR = 10_000.0
+#: The autoscaled run pays a per-event scale decision on top of the
+#: static streaming loop, so its floor sits below the static one.
+SERVE_AUTOSCALE_JOBS_PER_SEC_FLOOR = 5_000.0
 
 
 def _load(name: str) -> dict | None:
@@ -80,12 +83,16 @@ def check_serve(failures: list[str]) -> None:
         return
     for point in record.get("points", []):
         rate = point.get("jobs_per_sec", 0.0)
-        floor = (SERVE_JOBS_PER_SEC_FLOOR
-                 if point.get("jobs", 0) >= 100_000
-                 else SERVE_JOBS_PER_SEC_FLOOR_SMALL)
+        if point.get("autoscale"):
+            floor = SERVE_AUTOSCALE_JOBS_PER_SEC_FLOOR
+        elif point.get("jobs", 0) >= 100_000:
+            floor = SERVE_JOBS_PER_SEC_FLOOR
+        else:
+            floor = SERVE_JOBS_PER_SEC_FLOOR_SMALL
         if rate < floor:
+            tag = " autoscaled" if point.get("autoscale") else ""
             failures.append(
-                f"serve streaming ({point.get('jobs')} jobs): "
+                f"serve streaming ({point.get('jobs')}{tag} jobs): "
                 f"{rate:.0f} jobs/s < floor {floor:.0f}/s")
 
 
