@@ -6,6 +6,12 @@ P²-streaming metrics) and persists jobs/sec and peak RSS to
 ``BENCH_serve.json`` at the repo root — gitignored locally, uploaded as
 a CI artifact like the other perf records, and floor-checked by
 ``tools/check_bench.py`` so a throughput regression fails the build.
+
+A final instrumented point replays the 1M-job trace with full
+observability (``repro.obs.FleetObs`` tracing + metrics) attached and
+records the in-loop overhead ratio against the uninstrumented run;
+``tools/check_bench.py`` caps it at ``OVERHEAD_CEILING`` so the
+zero-overhead-when-disabled contract cannot silently erode.
 """
 
 import json
@@ -14,6 +20,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs import FleetObs, MetricsRegistry, TraceRecorder
 from repro.serve import (
     AdmissionController,
     AutoscalerPolicy,
@@ -91,6 +98,55 @@ def test_streaming_serve_throughput(capsys):
             "chip_hours": report.chip_hours,
         })
 
+    # Instrumentation overhead: replay the 1M static trace back to
+    # back with observability off and on (twice each, keeping the
+    # best wall time) and record the in-loop overhead ratio.  Span
+    # building and metric folding are deferred to ``FleetObs.export``
+    # outside the event loop, so the loop only pays O(1) dispatch
+    # bookkeeping — ``tools/check_bench.py`` holds the ratio under
+    # ``OVERHEAD_CEILING``; the export cost is recorded alongside.
+    jobs = TRACE_SIZES[-1]
+    trace = generate_trace_arrays(TraceConfig(
+        jobs=jobs, seed=7, mean_interarrival_s=MEAN_INTERARRIVAL_S))
+    admission_budget = TenantBudget(epsilon=3.0)
+    fleet = FleetConfig(chips=16)
+    plain_wall = instrumented_wall = float("inf")
+    obs = None
+    for _ in range(3):
+        for instrumented in (False, True):
+            admission = AdmissionController(admission_budget)
+            decisions = admission.admit_batch(trace)
+            run_obs = FleetObs(recorder=TraceRecorder(),
+                               metrics=MetricsRegistry()) \
+                if instrumented else None
+            start = time.perf_counter()
+            report = simulate_fleet_streaming(
+                trace, fleet, policy="fifo",
+                admission=admission, decisions=decisions, obs=run_obs)
+            wall = time.perf_counter() - start
+            assert report.completed + report.rejected == jobs
+            if instrumented:
+                if wall < instrumented_wall:
+                    instrumented_wall, obs = wall, run_obs
+            else:
+                plain_wall = min(plain_wall, wall)
+    start = time.perf_counter()
+    obs.export()
+    export_wall = time.perf_counter() - start
+    overhead = instrumented_wall / plain_wall
+    points.append({
+        "jobs": jobs,
+        "autoscale": False,
+        "instrumented": True,
+        "wall_seconds": instrumented_wall,
+        "plain_wall_seconds": plain_wall,
+        "overhead_ratio": overhead,
+        "export_seconds": export_wall,
+        "trace_events": len(obs.recorder.events),
+        "jobs_per_sec": jobs / instrumented_wall,
+        "peak_rss_mb": _peak_rss_mb(),
+    })
+
     payload = {
         "benchmark": "serve_streaming",
         "chips": 16,
@@ -102,9 +158,15 @@ def test_streaming_serve_throughput(capsys):
     with capsys.disabled():
         for point in points:
             tag = " autoscaled" if point["autoscale"] else ""
+            if point.get("instrumented"):
+                tag += " instrumented"
             print(f"\nserve streaming — {point['jobs']:,}{tag} jobs in "
                   f"{point['wall_seconds']:.2f}s "
                   f"({point['jobs_per_sec']:,.0f} jobs/s, peak RSS "
                   f"{point['peak_rss_mb']:.0f} MB) -> {BENCH_JSON.name}")
-    # Loose in-test floor; the CI guard applies the real thresholds.
+        print(f"serve streaming — observability in-loop overhead "
+              f"{overhead:.3f}x, export {export_wall:.1f}s for "
+              f"{len(obs.recorder.events):,} events")
+    # Loose in-test floors; the CI guard applies the real thresholds.
     assert points[-1]["jobs_per_sec"] > 1_000
+    assert overhead < 2.0

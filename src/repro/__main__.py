@@ -10,6 +10,7 @@ Usage:
     python -m repro scaling --chips 1 2 4 8    # multi-chip scaling
     python -m repro serve --trace-jobs 200     # fleet serving simulator
     python -m repro capacity --max-p99-wait 60 # fleet capacity planner
+    python -m repro trace fleet_trace.json     # inspect a trace file
 """
 
 from __future__ import annotations
@@ -60,43 +61,69 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         simulate_training_step,
     )
 
+    recorder = None
+    if args.trace:
+        from repro.obs import TraceRecorder
+        recorder = TraceRecorder()
     network = build_model(args.model)
     batch = args.batch or max_batch_size(network, Algorithm.DP_SGD)
     print(f"{network.describe()}, B={batch}")
-    base = None
-    for kind, with_ppu in (("ws", False), ("os", True), ("diva", True)):
-        accel = (build_accelerator("ws") if kind == "ws"
-                 else build_accelerator(kind, with_ppu=with_ppu))
-        report = simulate_training_step(
-            network, Algorithm(args.algorithm), accel, batch)
-        if base is None:
-            base = report.total_seconds
-        print(f"  {accel.name:5s} {report.total_seconds * 1e3:9.2f} ms "
-              f"({base / report.total_seconds:.2f}x)")
+    if args.chips > 1:
+        from repro.core import build_cluster
+        from repro.training import simulate_sharded_training_step
+        cluster = build_cluster("diva", n_chips=args.chips)
+        report = simulate_sharded_training_step(
+            network, Algorithm(args.algorithm), cluster, batch,
+            recorder=recorder)
+        print(f"  {args.chips}x diva "
+              f"{report.total_seconds * 1e3:9.2f} ms "
+              f"(comm {report.comm_seconds * 1e3:.2f} ms exposed)")
+    else:
+        base = None
+        for kind, with_ppu in (("ws", False), ("os", True),
+                               ("diva", True)):
+            accel = (build_accelerator("ws") if kind == "ws"
+                     else build_accelerator(kind, with_ppu=with_ppu))
+            report = simulate_training_step(
+                network, Algorithm(args.algorithm), accel, batch,
+                recorder=recorder)
+            if base is None:
+                base = report.total_seconds
+            print(f"  {accel.name:5s} "
+                  f"{report.total_seconds * 1e3:9.2f} ms "
+                  f"({base / report.total_seconds:.2f}x)")
+    if recorder is not None:
+        recorder.write(args.trace)
+        print(f"trace: {len(recorder.events)} events -> {args.trace}")
     return 0
 
 
 def _cmd_design_space(args: argparse.Namespace) -> int:
     from repro.experiments import design_space
-    from repro.experiments.runner import ResultCache
+    from repro.experiments.runner import CacheStats, ResultCache
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    stats = CacheStats() if cache is not None else None
     rows = design_space.run(
         models=tuple(args.models),
         heights=tuple(args.heights),
         widths=tuple(args.widths) if args.widths else None,
         jobs=args.jobs,
         cache=cache,
+        stats=stats,
     )
     print(design_space.render(rows))
+    if stats is not None:
+        print(stats.render())
     return 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.experiments import scaling
-    from repro.experiments.runner import ResultCache
+    from repro.experiments.runner import CacheStats, ResultCache
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    stats = CacheStats() if cache is not None else None
     try:
         rows = scaling.run(
             models=tuple(args.models or scaling.DEFAULT_MODELS),
@@ -111,11 +138,14 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             chips_per_node=args.chips_per_node,
             jobs=args.jobs,
             cache=cache,
+            stats=stats,
         )
     except ValueError as error:
         print(f"scaling: {error}", file=sys.stderr)
         return 2
     print(scaling.render(rows))
+    if stats is not None:
+        print(stats.render())
     return 0
 
 
@@ -124,6 +154,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.experiments.runner import ResultCache
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    profiler = None
+    if args.profile:
+        from repro.obs import Profiler
+        profiler = Profiler("serve")
     try:
         autoscale = None
         if args.autoscale:
@@ -151,11 +185,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mean_interarrival_s=args.mean_interarrival,
             autoscale=autoscale,
             cache=cache,
+            trace_path=args.trace,
+            metrics_dir=args.metrics_out,
+            profiler=profiler,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
     print(serve.render(rows))
+    if args.trace:
+        print(f"trace -> {args.trace}")
+    if args.metrics_out:
+        print(f"metrics -> {args.metrics_out}")
+    if profiler is not None:
+        profiler.write(args.profile)
+        print(f"profile -> {args.profile}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import load_trace, render_summary, summarize
+
+    try:
+        events = load_trace(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -209,6 +271,14 @@ def main(argv: list[str] | None = None) -> int:
                      choices=[a.value for a in __import__(
                          "repro.training", fromlist=["Algorithm"]
                      ).Algorithm])
+    sim.add_argument("--chips", type=int, default=1, metavar="N",
+                     help="simulate a sharded step on an N-chip DiVa "
+                          "cluster instead of the 3-accelerator "
+                          "comparison (default: 1)")
+    sim.add_argument("--trace", default=None, metavar="FILE",
+                     help="write per-phase/per-op spans as Chrome-trace "
+                          "JSON (open in Perfetto, or inspect with "
+                          "'python -m repro trace')")
     design = sub.add_parser(
         "design-space",
         help="sweep PE-array geometries (batched in-process, "
@@ -361,6 +431,18 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--cache-dir", default=None,
                        help="persist per-config step latencies as "
                             "JSON under this directory")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="write job-lifecycle spans, autoscaler "
+                            "instants, and load counters for every "
+                            "policy as Chrome-trace JSON")
+    serve.add_argument("--metrics-out", default=None, metavar="DIR",
+                       help="write one metrics_<policy>.json registry "
+                            "dump (counters, P2 histograms, windowed "
+                            "series) per policy under DIR")
+    serve.add_argument("--profile", default=None, metavar="FILE",
+                       help="write a wall-clock self-profile of the "
+                            "harness (stage timings + counters) as "
+                            "JSON")
     capacity = sub.add_parser(
         "capacity",
         help="smallest fleet meeting a p99-wait/throughput SLO "
@@ -426,6 +508,13 @@ def main(argv: list[str] | None = None) -> int:
     capacity.add_argument("--cache-dir", default=None,
                           help="persist per-config step latencies as "
                                "JSON under this directory")
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a Chrome-trace JSON file (schema check + "
+             "per-process summary)")
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of text")
     args = parser.parse_args(argv)
     handlers = {
         "models": _cmd_models,
@@ -436,6 +525,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": _cmd_scaling,
         "serve": _cmd_serve,
         "capacity": _cmd_capacity,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -83,6 +83,29 @@ class OpRun:
         """The additive identity, handy for aggregation."""
         return OpRun()
 
+    def trace_args(self) -> dict[str, int]:
+        """Nonzero execution counters, as a trace span's ``args`` payload.
+
+        Dropping the zero fields keeps trace files small — a span's
+        argument panel in Perfetto then shows only the resources the
+        operation actually touched.
+        """
+        fields = (
+            ("cycles", self.cycles),
+            ("compute_cycles", self.compute_cycles),
+            ("vector_cycles", self.vector_cycles),
+            ("ppu_cycles", self.ppu_cycles),
+            ("macs", self.macs),
+            ("vector_ops", self.vector_ops),
+            ("dram_read_bytes", self.dram_read_bytes),
+            ("dram_write_bytes", self.dram_write_bytes),
+            ("sram_read_bytes", self.sram_read_bytes),
+            ("sram_write_bytes", self.sram_write_bytes),
+            ("link_bytes", self.link_bytes),
+            ("hidden_cycles", self.hidden_cycles),
+        )
+        return {name: value for name, value in fields if value}
+
 
 class Accelerator:
     """A complete training accelerator model.

@@ -20,8 +20,13 @@ Run it from the CLI::
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.experiments import runner
 from repro.experiments.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
 
 #: PE-array heights swept by default (width mirrors height).
 DEFAULT_HEIGHTS = (64, 128, 256)
@@ -137,8 +142,15 @@ def run(
     seq_len: int = 32,
     jobs: int | None = None,
     cache: "runner.ResultCache | None" = None,
+    stats: "runner.CacheStats | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> list[dict]:
-    """Sweep the design space; one row per (model, height, width)."""
+    """Sweep the design space; one row per (model, height, width).
+
+    ``stats`` tallies cache hit/miss/stale outcomes (surfaced by the
+    ``design-space`` CLI); ``profiler`` times the lookup/compute/write
+    stages.
+    """
     square_only = widths is None
     widths = widths or heights
     work = [(name, h, w, input_size, seq_len)
@@ -155,6 +167,7 @@ def run(
     del jobs
     return runner.cached_batch(
         evaluate_points_batched, work, cache=cache,
+        stats=stats, profiler=profiler,
         key_fn=lambda point: {"experiment": "design_space",
                               "model": point[0], "height": point[1],
                               "width": point[2],

@@ -98,9 +98,57 @@ import json
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, is_dataclass
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
+
+
+@dataclass
+class CacheStats:
+    """Outcome tally of one (or several) cached lookup passes.
+
+    ``hits`` loaded a stored value, ``misses`` found no entry, and
+    ``stale`` found an entry that could not be used (unreadable file,
+    corrupt JSON, or a payload without a value) — stale entries are
+    recomputed exactly like misses, the distinction only matters for
+    reporting.  Pass one instance through several
+    :func:`cached_sweep` / :func:`cached_batch` calls to accumulate.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.stale
+
+    def record(self, status: str) -> None:
+        """Count one lookup outcome (``"hit"``/``"miss"``/``"stale"``)."""
+        if status == "hit":
+            self.hits += 1
+        elif status == "miss":
+            self.misses += 1
+        elif status == "stale":
+            self.stale += 1
+        else:
+            raise ValueError(f"unknown cache lookup status {status!r}")
+
+    def render(self) -> str:
+        """One CLI-ready summary line."""
+        return (f"cache: {self.hits} hits, {self.misses} misses, "
+                f"{self.stale} stale")
+
+
+def _stage(profiler: "Profiler | None", name: str) -> ContextManager:
+    """``profiler.stage(name)``, or a no-op when profiling is off."""
+    if profiler is None:
+        return nullcontext()
+    return profiler.stage(name)
 
 
 def default_jobs() -> int:
@@ -186,22 +234,51 @@ class ResultCache:
     def path(self, key_hash: str) -> Path:
         return self.root / f"{key_hash}.json"
 
+    def lookup(self, key_hash: str) -> tuple[Any | None, str]:
+        """``(value, status)`` for one entry.
+
+        Status is ``"hit"`` (value loaded), ``"miss"`` (no entry on
+        disk), or ``"stale"`` (an entry exists but is unusable:
+        unreadable file, corrupt JSON, or a payload carrying no value).
+        Stale entries behave like misses — the caller recomputes and
+        overwrites them — but are tallied separately by
+        :class:`CacheStats`.
+        """
+        try:
+            text = self.path(key_hash).read_text()
+        except FileNotFoundError:
+            return None, "miss"
+        except OSError:
+            return None, "stale"
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return None, "stale"
+        value = payload.get("value") if isinstance(payload, dict) else None
+        if value is None:
+            return None, "stale"
+        return value, "hit"
+
     def get(self, key_hash: str) -> Any | None:
         """Stored value for ``key_hash``, or None (missing/corrupt)."""
-        try:
-            payload = json.loads(self.path(key_hash).read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        return payload.get("value") if isinstance(payload, dict) else None
+        return self.lookup(key_hash)[0]
 
-    def get_many(self, key_hashes: Iterable[str]) -> list[Any | None]:
-        """One :meth:`get` per hash, as a single batched lookup pass.
+    def get_many(self, key_hashes: Iterable[str], *,
+                 stats: CacheStats | None = None) -> list[Any | None]:
+        """One :meth:`lookup` per hash, as a single batched lookup pass.
 
         The batched sweep paths resolve a whole grid's cache state up
         front through this (one call per grid, not one per point), so
         misses can be computed together in one vectorized evaluation.
+        ``stats`` tallies hit/miss/stale outcomes when given.
         """
-        return [self.get(key_hash) for key_hash in key_hashes]
+        values = []
+        for key_hash in key_hashes:
+            value, status = self.lookup(key_hash)
+            if stats is not None:
+                stats.record(status)
+            values.append(value)
+        return values
 
     def _publish(self, key_hash: str, key: Any, value: Any,
                  fsync_file: bool) -> None:
@@ -306,28 +383,41 @@ def cached_sweep(
     jobs: int | None = None,
     parallel: bool | None = None,
     star: bool = False,
+    stats: CacheStats | None = None,
+    profiler: "Profiler | None" = None,
 ) -> list:
     """:func:`sweep` with per-item persistent memoization.
 
     Each item is cached under ``config_hash(key_fn(item))``, so growing
     a sweep only computes the new points — previously stored ones load
     from disk.  ``fn`` must return JSON-serializable values.  Without a
-    cache this degrades to a plain :func:`sweep`.
+    cache this degrades to a plain :func:`sweep`.  ``stats`` tallies
+    hit/miss/stale lookup outcomes; ``profiler`` times the
+    lookup/compute/write stages and counts sweep sizes.
     """
     work = list(items)
+    if profiler is not None:
+        profiler.count("sweep_items", len(work))
     if cache is None:
         cache = default_cache()
     if cache is None:
-        return sweep(fn, work, jobs=jobs, parallel=parallel, star=star)
-    keys = [key_fn(item) for item in work]
-    hashes = [config_hash(key) for key in keys]
-    results = [cache.get(key_hash) for key_hash in hashes]
+        with _stage(profiler, "cache/compute"):
+            return sweep(fn, work, jobs=jobs, parallel=parallel, star=star)
+    with _stage(profiler, "cache/lookup"):
+        keys = [key_fn(item) for item in work]
+        hashes = [config_hash(key) for key in keys]
+        results = cache.get_many(hashes, stats=stats)
     missing = [i for i, value in enumerate(results) if value is None]
-    computed = sweep(fn, [work[i] for i in missing],
-                     jobs=jobs, parallel=parallel, star=star)
-    for index, value in zip(missing, computed):
-        cache.put(hashes[index], keys[index], value)
-        results[index] = value
+    if profiler is not None:
+        profiler.count("cache_hits", len(work) - len(missing))
+        profiler.count("cache_misses", len(missing))
+    with _stage(profiler, "cache/compute"):
+        computed = sweep(fn, [work[i] for i in missing],
+                         jobs=jobs, parallel=parallel, star=star)
+    with _stage(profiler, "cache/write"):
+        for index, value in zip(missing, computed):
+            cache.put(hashes[index], keys[index], value)
+            results[index] = value
     return results
 
 
@@ -337,6 +427,8 @@ def cached_batch(
     *,
     key_fn: Callable[[Any], Any],
     cache: ResultCache | None = None,
+    stats: CacheStats | None = None,
+    profiler: "Profiler | None" = None,
 ) -> list:
     """Per-item persistent memoization around one *batched* evaluator.
 
@@ -347,24 +439,35 @@ def cached_batch(
     batched NumPy engines evaluate the whole list in a few broadcast
     passes.  Cache lookups happen in one :meth:`ResultCache.get_many`
     pass per grid and new results land through one
-    :meth:`ResultCache.put_many` batch (single fsync).
+    :meth:`ResultCache.put_many` batch (single fsync).  ``stats``
+    tallies hit/miss/stale lookup outcomes; ``profiler`` times the
+    lookup/compute/write stages and counts batch sizes.
     """
     work = list(items)
+    if profiler is not None:
+        profiler.count("batch_items", len(work))
     if cache is None:
         cache = default_cache()
     if cache is None:
-        return batch_fn(work)
-    keys = [key_fn(item) for item in work]
-    hashes = [config_hash(key) for key in keys]
-    results = cache.get_many(hashes)
+        with _stage(profiler, "cache/compute"):
+            return batch_fn(work)
+    with _stage(profiler, "cache/lookup"):
+        keys = [key_fn(item) for item in work]
+        hashes = [config_hash(key) for key in keys]
+        results = cache.get_many(hashes, stats=stats)
     missing = [i for i, value in enumerate(results) if value is None]
-    computed = batch_fn([work[i] for i in missing])
+    if profiler is not None:
+        profiler.count("cache_hits", len(work) - len(missing))
+        profiler.count("cache_misses", len(missing))
+    with _stage(profiler, "cache/compute"):
+        computed = batch_fn([work[i] for i in missing])
     if len(computed) != len(missing):
         raise ValueError(
             f"batch_fn returned {len(computed)} values for "
             f"{len(missing)} items")
-    cache.put_many((hashes[i], keys[i], value)
-                   for i, value in zip(missing, computed))
+    with _stage(profiler, "cache/write"):
+        cache.put_many((hashes[i], keys[i], value)
+                       for i, value in zip(missing, computed))
     for index, value in zip(missing, computed):
         results[index] = value
     return results

@@ -42,9 +42,13 @@ Run it from the CLI::
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.experiments import runner
 from repro.experiments.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
 
 #: Chip counts swept by default.
 DEFAULT_CHIPS = (1, 2, 4, 8)
@@ -196,12 +200,16 @@ def run(
     chips_per_node: int = 1,
     jobs: int | None = None,
     cache: "runner.ResultCache | None" = None,
+    stats: "runner.CacheStats | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> list[dict]:
     """Sweep the scaling space; one row per (model, algorithm, chips).
 
     Validates every input before fanning out, so a bad sweep fails
     with one clean :class:`ValueError` instead of a worker traceback
-    (and never writes partial results into the cache).
+    (and never writes partial results into the cache).  ``stats``
+    tallies cache hit/miss/stale outcomes (surfaced by the ``scaling``
+    CLI); ``profiler`` times the lookup/compute/write stages.
     """
     from repro.arch.interconnect import TOPOLOGIES
 
@@ -263,6 +271,7 @@ def run(
     del jobs
     return runner.cached_batch(
         evaluate_points_batched, work, cache=cache,
+        stats=stats, profiler=profiler,
         key_fn=lambda point: {"experiment": "scaling",
                               "model": point[0], "chips": point[1],
                               "algorithm": point[2], "mode": point[3],

@@ -27,12 +27,22 @@ from repro.experiments import runner
 from repro.experiments.report import format_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
     from repro.serve import AutoscalerPolicy
 
 # repro.serve is imported lazily inside run()/render(): the serving
 # layer itself uses the experiment runner and report helpers, so a
 # module-level import here would close an import cycle through the
 # experiments package __init__.
+
+def _stage(profiler: "Profiler | None", name: str):
+    """``profiler.stage(name)``, or a no-op when profiling is off."""
+    from contextlib import nullcontext
+
+    if profiler is None:
+        return nullcontext()
+    return profiler.stage(name)
+
 
 #: Default per-tenant lifetime budget of the demo trace.
 DEFAULT_EPSILON_BUDGET = 3.0
@@ -59,6 +69,9 @@ def run(
     mean_interarrival_s: float = 8.0,
     autoscale: "AutoscalerPolicy | None" = None,
     cache: "runner.ResultCache | None" = None,
+    trace_path: str | None = None,
+    metrics_dir: str | None = None,
+    profiler: "Profiler | None" = None,
 ) -> list[dict]:
     """One row (fleet-report summary dict) per scheduling policy.
 
@@ -83,6 +96,15 @@ def run(
     :class:`repro.serve.AutoscalerPolicy`) turns the static fleet
     into a reactive one — both simulators drive the identical scaling
     state, so the comparison stays policy-apples-to-apples.
+
+    Observability is opt-in and changes nothing when off:
+    ``trace_path`` writes one Chrome-trace JSON file covering every
+    policy (one trace process per policy, loadable in Perfetto and by
+    ``python -m repro trace``); ``metrics_dir`` writes one
+    ``metrics_<policy>.json`` registry dump per policy; ``profiler``
+    (a :class:`repro.obs.Profiler`) times the harness's own
+    trace-generation / admission / simulation stages.  See
+    ``docs/observability.md``.
     """
     from repro.serve import (
         AdmissionController,
@@ -102,31 +124,81 @@ def run(
         raise ValueError("policies must name at least one policy")
     if streaming is None:
         streaming = trace_jobs >= STREAMING_THRESHOLD
+    recorder = None
+    if trace_path is not None:
+        from repro.obs import TraceRecorder
+        recorder = TraceRecorder()
+    registries: dict[str, object] = {}
+
+    def _observe(policy: str) -> "object | None":
+        # One FleetObs per run; the recorder is shared across policies
+        # (one trace process per policy), registries are per-policy.
+        if recorder is None and metrics_dir is None:
+            return None
+        from repro.obs import FleetObs, MetricsRegistry
+        metrics = None
+        if metrics_dir is not None:
+            metrics = registries[policy] = MetricsRegistry()
+        return FleetObs(recorder=recorder, metrics=metrics)
+
+    def _export(obs: "object | None") -> None:
+        if obs is not None:
+            with _stage(profiler, "serve/export"):
+                obs.export()
+
+    def _write_outputs() -> None:
+        if recorder is not None:
+            with _stage(profiler, "serve/export"):
+                recorder.write(trace_path)
+        if metrics_dir is not None:
+            from pathlib import Path
+            with _stage(profiler, "serve/export"):
+                out = Path(metrics_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                for policy, registry in registries.items():
+                    registry.write(out / f"metrics_{policy}.json")
+
     config = TraceConfig(jobs=trace_jobs, seed=seed, shape=trace_shape,
                          mean_interarrival_s=mean_interarrival_s)
     fleet = FleetConfig(chips=chips, chips_per_cluster=chips_per_cluster,
                         topology=topology, chips_per_node=chips_per_node,
                         bucket_bytes=bucket_bytes, overlap=overlap)
+    if profiler is not None:
+        profiler.count("trace_jobs", trace_jobs)
+        profiler.count("policies", len(policies))
     rows = []
     if streaming:
-        trace = generate_trace_arrays(config)
+        with _stage(profiler, "serve/trace"):
+            trace = generate_trace_arrays(config)
         admission = AdmissionController(
             TenantBudget(epsilon=epsilon_budget, delta=delta))
-        decisions = admission.admit_batch(trace)
+        with _stage(profiler, "serve/admission"):
+            decisions = admission.admit_batch(trace)
         for policy in policies:
-            report = simulate_fleet_streaming(
-                trace, fleet, policy=policy, admission=admission,
-                decisions=decisions, autoscaler=autoscale, cache=cache)
+            obs = _observe(policy)
+            with _stage(profiler, "serve/simulate"):
+                report = simulate_fleet_streaming(
+                    trace, fleet, policy=policy, admission=admission,
+                    decisions=decisions, autoscaler=autoscale,
+                    cache=cache, obs=obs)
+            _export(obs)
             rows.append(report.to_dict())
+        _write_outputs()
         return rows
-    trace = generate_trace(config)
+    with _stage(profiler, "serve/trace"):
+        trace = generate_trace(config)
     for policy in policies:
         admission = AdmissionController(
             TenantBudget(epsilon=epsilon_budget, delta=delta))
-        report = simulate_fleet(trace, fleet, policy=policy,
-                                admission=admission, autoscaler=autoscale,
-                                cache=cache)
+        obs = _observe(policy)
+        with _stage(profiler, "serve/simulate"):
+            report = simulate_fleet(trace, fleet, policy=policy,
+                                    admission=admission,
+                                    autoscaler=autoscale,
+                                    cache=cache, obs=obs)
+        _export(obs)
         rows.append(report.to_dict())
+    _write_outputs()
     return rows
 
 

@@ -141,6 +141,11 @@ class ScaleEvent:
     pending_after: int
     reason: str  # one of SCALE_REASONS
 
+    @property
+    def label(self) -> str:
+        """Display name (trace instants, report lines)."""
+        return f"scale {self.action} ({self.reason})"
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "time_s": self.time_s,

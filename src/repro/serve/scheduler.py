@@ -38,7 +38,7 @@ import math
 from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 from numpy.typing import NDArray
@@ -58,6 +58,9 @@ from repro.serve.metrics import (
     build_streaming_report,
 )
 from repro.serve.stream import StreamingStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.fleet import FleetObs
 
 #: Scheduling policies simulate_fleet understands.
 POLICIES = ("fifo", "sjf", "budget")
@@ -215,6 +218,7 @@ def simulate_fleet(
     autoscaler: AutoscalerPolicy | None = None,
     cache: "runner.ResultCache | None" = None,
     dispatch_log: "list[tuple[int, float]] | None" = None,
+    obs: "FleetObs | None" = None,
 ) -> FleetReport:
     """Replay ``trace`` on ``fleet`` under ``policy`` and report.
 
@@ -228,6 +232,12 @@ def simulate_fleet(
     scale events plus chip-hour cost.  ``dispatch_log``, when given,
     receives ``(job_id, start_s)`` per dispatch in dispatch order —
     the observable the streaming-equivalence tests pin.
+
+    ``obs`` (a :class:`repro.obs.fleet.FleetObs`) observes the run:
+    one windowed load sample per elapsed metrics window in-loop, and
+    the finished records attached at the end for span building /
+    metric folding in ``obs.export()``.  ``None`` (default) is the
+    exact pre-observability code path.
     """
     if admission is None:
         admission = AdmissionController()
@@ -253,6 +263,9 @@ def simulate_fleet(
     next_cluster = fleet.n_clusters
     queue: list[JobRecord] = []
     records: list[JobRecord] = []
+    # Local mirror of the observer's sampling deadline: the per-event
+    # guard is one float compare whether observability is on or off.
+    obs_next_sample_s = obs.next_sample_s if obs is not None else math.inf
     now = 0.0
 
     while events:
@@ -305,9 +318,18 @@ def simulate_fleet(
                 for _ in range(-delta):
                     idle.remove(max(idle))
                 heapq.heapify(idle)
+        if now >= obs_next_sample_s:
+            assert obs is not None  # deadline is +inf otherwise
+            obs.sample(now, len(queue), len(idle),
+                       state.active if state is not None
+                       else fleet.n_clusters,
+                       len(state.pending) if state is not None else 0)
+            obs_next_sample_s = obs.next_sample_s
 
     if state is not None:
         state.finalize(now)
+    if obs is not None:
+        obs.attach_scalar(policy=policy, records=records, state=state)
     return build_report(
         policy=policy,
         chips=fleet.chips,
@@ -403,6 +425,7 @@ def simulate_fleet_streaming(
     autoscaler: AutoscalerPolicy | None = None,
     cache: "runner.ResultCache | None" = None,
     dispatch_log: "list[tuple[int, float]] | None" = None,
+    obs: "FleetObs | None" = None,
 ) -> FleetReport:
     """Replay an array trace on ``fleet`` with O(1) metric memory.
 
@@ -425,6 +448,14 @@ def simulate_fleet_streaming(
     drives both loops through the same observation sequence, so scale
     events, dispatch order and the chip-hour ledger are
     decision-identical between the two simulators.
+
+    ``obs`` also mirrors :func:`simulate_fleet` — with one extra
+    in-loop hook: since this loop keeps no per-job records, each
+    dispatch appends ``(job_id, start_s)`` to the observer's sink so
+    ``obs.export()`` can rebuild job lifecycles afterwards.  The
+    sampling points are event-for-event identical to the scalar
+    loop's, which makes the two simulators' exported span sets (and
+    windowed metric series) identical too.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; "
@@ -492,6 +523,12 @@ def simulate_fleet_streaming(
     # signal — one object, fed once per dispatch, exactly as the
     # scalar loop feeds it through record_wait.
     waits = state.waits if state is not None else StreamingStats()
+    # Pre-bound dispatch sink: one local-None check per dispatch when
+    # observability is off, one list append when it is on.  The
+    # sampling deadline is mirrored into a local for the same reason —
+    # the per-event guard stays one float compare either way.
+    obs_dispatch = obs.dispatches.append if obs is not None else None
+    obs_next_sample_s = obs.next_sample_s if obs is not None else math.inf
     completions: list[float] = []
     idle = fleet.n_clusters
     busy_s = 0.0
@@ -531,6 +568,8 @@ def simulate_fleet_streaming(
             waits.add(float(now - arrival[job]))
             if dispatch_log is not None:
                 dispatch_log.append((job, now))
+            if obs_dispatch is not None:
+                obs_dispatch((job, now))
             finish = float(now + service[job])
             heapq.heappush(completions, finish)
             busy_s += float(service[job])
@@ -545,9 +584,20 @@ def simulate_fleet_streaming(
                 # Retired clusters leave the idle pool immediately;
                 # scale-ups surface later as provision times.
                 idle += delta
+        if now >= obs_next_sample_s:
+            assert obs is not None  # deadline is +inf otherwise
+            obs.sample(now, queued, idle,
+                       state.active if state is not None
+                       else fleet.n_clusters,
+                       len(state.pending) if state is not None else 0)
+            obs_next_sample_s = obs.next_sample_s
 
     if state is not None:
         state.finalize(now)
+    if obs is not None:
+        obs.attach_streaming(policy=policy, trace=trace,
+                             decisions=decisions, service=service,
+                             state=state)
     return build_streaming_report(
         policy=policy,
         chips=fleet.chips,

@@ -244,3 +244,20 @@ class StreamingStats:
         if p * self.count <= self.zeros:
             return 0.0
         return self._estimators[p].value()
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON summary: count / mean / max plus every tracked quantile.
+
+        The serialization the observability layer's streamed
+        histograms (:class:`repro.obs.metrics.Histogram`) emit —
+        quantile keys are ``p50``-style, from the targets named at
+        construction.
+        """
+        summary: dict[str, float] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "max": self.maximum,
+        }
+        for p in sorted(self._estimators):
+            summary[f"p{100 * p:g}"] = self.quantile(p)
+        return summary

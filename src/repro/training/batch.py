@@ -30,8 +30,9 @@ module; the process-pool runner remains for non-analytic work.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, ContextManager, Sequence
 
 import numpy as np
 
@@ -53,9 +54,17 @@ from repro.training.simulate import (
 )
 from repro.workloads.model import Network
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
+
 #: Fixed phase axis of the batched per-phase cycle matrices.
 STEP_PHASES: tuple[Phase, ...] = tuple(Phase)
 _PHASE_INDEX = {phase: i for i, phase in enumerate(STEP_PHASES)}
+
+
+def _stage(profiler: "Profiler | None", name: str) -> ContextManager[Any]:
+    """Profiler stage context, or a no-op when profiling is off."""
+    return nullcontext() if profiler is None else profiler.stage(name)
 
 
 @dataclass(frozen=True)
@@ -90,7 +99,10 @@ class StepBatch:
 StepSpec = "tuple[Accelerator, Network, Algorithm, int]"
 
 
-def training_step_batch(specs: Sequence[tuple]) -> StepBatch:
+def training_step_batch(
+    specs: Sequence[tuple],
+    profiler: "Profiler | None" = None,
+) -> StepBatch:
     """Price single-chip training steps, batching all GEMMs per engine.
 
     ``specs`` is a sequence of ``(accelerator, network, algorithm,
@@ -98,56 +110,72 @@ def training_step_batch(specs: Sequence[tuple]) -> StepBatch:
     across specs lets the evaluator group their GEMMs into one
     vectorized pass).  Returns per-phase cycle sums identical to
     running :func:`simulate_training_step` per spec.
+
+    ``profiler`` (a :class:`repro.obs.profile.Profiler`) times the
+    vector-kernel and batched-GEMM stages and counts specs / GEMM ops
+    / unique shapes — purely additive bookkeeping.
     """
     specs = list(specs)
     matrix = np.zeros((len(specs), len(STEP_PHASES)), dtype=np.int64)
     frequency = np.array([accel.frequency_hz for accel, *_ in specs],
                          dtype=float)
+    if profiler is not None:
+        profiler.count("step_specs", len(specs))
 
     groups: dict[int, tuple[Accelerator, list[tuple]]] = {}
-    for index, (accel, network, algorithm, batch) in enumerate(specs):
-        runs = step_vector_runs(network, algorithm, accel, batch)
-        for phase, run in runs.items():
-            matrix[index, _PHASE_INDEX[phase]] += run.cycles
-        _, ops = groups.setdefault(id(accel), (accel, []))
-        for op in step_gemm_ops(network, algorithm, accel, batch):
-            ops.append((index, _PHASE_INDEX[op.phase],
-                        op.gemm.m, op.gemm.k, op.gemm.n, op.gemm.count,
-                        op.write_output, op.fuse_norm))
+    with _stage(profiler, "step-batch/vector"):
+        for index, (accel, network, algorithm, batch) in enumerate(specs):
+            runs = step_vector_runs(network, algorithm, accel, batch)
+            for phase, run in runs.items():
+                matrix[index, _PHASE_INDEX[phase]] += run.cycles
+            _, ops = groups.setdefault(id(accel), (accel, []))
+            for op in step_gemm_ops(network, algorithm, accel, batch):
+                ops.append((index, _PHASE_INDEX[op.phase],
+                            op.gemm.m, op.gemm.k, op.gemm.n,
+                            op.gemm.count,
+                            op.write_output, op.fuse_norm))
 
-    for accel, ops in groups.values():
-        if not ops:
-            continue
-        (spec_idx, phase_idx, m, k, n, count, write_out,
-         fuse) = (np.array(col) for col in zip(*ops))
-        shapes = np.stack([m, k, n], axis=1)
-        unique, inverse = np.unique(shapes, axis=0, return_inverse=True)
-        stats = gemm_stats_batch(
-            accel.engine, unique[:, 0], unique[:, 1], unique[:, 2], 1)
-        compute = stats.compute_cycles[inverse] * count
+    with _stage(profiler, "step-batch/gemm"):
+        for accel, ops in groups.values():
+            if not ops:
+                continue
+            (spec_idx, phase_idx, m, k, n, count, write_out,
+             fuse) = (np.array(col) for col in zip(*ops))
+            shapes = np.stack([m, k, n], axis=1)
+            unique, inverse = np.unique(shapes, axis=0,
+                                        return_inverse=True)
+            if profiler is not None:
+                profiler.count("gemm_ops", len(ops))
+                profiler.count("unique_gemm_shapes", len(unique))
+            stats = gemm_stats_batch(
+                accel.engine, unique[:, 0], unique[:, 1], unique[:, 2], 1)
+            compute = stats.compute_cycles[inverse] * count
 
-        input_bytes = accel.config.input_bytes
-        acc_bytes = accel.config.acc_bytes
-        dram_read = (m * k + k * n) * count * input_bytes
-        out_bytes = m * n * count * acc_bytes
-        dram_write = np.where(write_out, out_bytes, 0)
-        if fuse.any():
-            # Mirrors Accelerator.run_gemm's fuse_norm path: the
-            # per-GEMM PPU flush is compute-exposed and one norm scalar
-            # per GEMM goes off-chip alongside any persisted outputs.
-            flush = accel.ppu.flush_cycles()
-            compute = compute + np.where(fuse, flush * count, 0)
-            dram_write = np.where(fuse, count * acc_bytes + dram_write,
-                                  dram_write)
+            input_bytes = accel.config.input_bytes
+            acc_bytes = accel.config.acc_bytes
+            dram_read = (m * k + k * n) * count * input_bytes
+            out_bytes = m * n * count * acc_bytes
+            dram_write = np.where(write_out, out_bytes, 0)
+            if fuse.any():
+                # Mirrors Accelerator.run_gemm's fuse_norm path: the
+                # per-GEMM PPU flush is compute-exposed and one norm
+                # scalar per GEMM goes off-chip alongside any
+                # persisted outputs.
+                flush = accel.ppu.flush_cycles()
+                compute = compute + np.where(fuse, flush * count, 0)
+                dram_write = np.where(fuse,
+                                      count * acc_bytes + dram_write,
+                                      dram_write)
 
-        total_bytes = dram_read + dram_write
-        transfer = np.where(
-            total_bytes > 0,
-            np.ceil(total_bytes / accel.memory.bytes_per_cycle)
-            .astype(np.int64) + accel.memory.config.access_latency_cycles,
-            0)
-        np.add.at(matrix, (spec_idx, phase_idx),
-                  np.maximum(compute, transfer))
+            total_bytes = dram_read + dram_write
+            transfer = np.where(
+                total_bytes > 0,
+                np.ceil(total_bytes / accel.memory.bytes_per_cycle)
+                .astype(np.int64)
+                + accel.memory.config.access_latency_cycles,
+                0)
+            np.add.at(matrix, (spec_idx, phase_idx),
+                      np.maximum(compute, transfer))
 
     return StepBatch(phase_cycles=matrix, frequency_hz=frequency)
 
@@ -217,7 +245,7 @@ def _broadcast_column(value, length: int, dtype=None) -> np.ndarray:
     return np.broadcast_to(array, (length,)).copy()
 
 
-def sharded_step_batch(
+def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) has no batched analogue; the batch engine self-profiles via `profiler`
     models: Sequence[str],
     algorithms,
     global_batches,
@@ -231,6 +259,7 @@ def sharded_step_batch(
     config=None,
     link_bandwidth_bytes_per_s: float = 100e9,
     link_latency_s: float = 1e-6,
+    profiler: "Profiler | None" = None,
 ) -> ShardedStepBatch:
     """Price data-parallel sharded training steps over a config grid.
 
@@ -242,6 +271,8 @@ def sharded_step_batch(
     :func:`simulate_sharded_training_step` per point — the shard is
     evaluated once per distinct ``(kind, model, algorithm, local
     batch)`` and the collective model runs fully vectorized.
+    ``profiler`` forwards to :func:`training_step_batch` and counts
+    grid points / unique shard evaluations.
     """
     from repro.core import build_accelerator
     from repro.workloads import build_model
@@ -317,7 +348,10 @@ def sharded_step_batch(
         if network is None:
             network = networks[model] = build_model(model)
         specs.append((accel, network, Algorithm(algorithm), batch))
-    step = training_step_batch(specs)
+    if profiler is not None:
+        profiler.count("grid_points", length)
+        profiler.count("unique_shards", len(shard_keys))
+    step = training_step_batch(specs, profiler=profiler)
 
     shard_cycles = step.total_cycles[shard_index]
     frequency = step.frequency_hz[shard_index]

@@ -54,6 +54,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.arch.accelerator import Accelerator, OpRun
 from repro.arch.cluster import Cluster
@@ -63,6 +64,9 @@ from repro.training.plan import phase_gemms
 from repro.workloads.gemms import Gemm
 from repro.workloads.layer import Embedding
 from repro.workloads.model import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 #: Storage width of gradients / norms (FP32).
 GRAD_BYTES = 4
@@ -425,6 +429,41 @@ def step_vector_runs(
     return phases
 
 
+def _simulate_chip_step(
+    network: Network,
+    algorithm: Algorithm,
+    accelerator: Accelerator,
+    batch: int,
+    collect_ops: bool,
+) -> "tuple[TrainingReport, list[tuple[GemmOp, OpRun]] | None]":
+    """Execute one single-chip step; optionally keep per-GEMM records.
+
+    The op log only exists when a trace recorder asked for it
+    (``collect_ops``) — the default path allocates nothing and runs
+    the exact pre-observability sequence.
+    """
+    op_log: list[tuple[GemmOp, OpRun]] | None = \
+        [] if collect_ops else None
+    phases = step_vector_runs(network, algorithm, accelerator, batch)
+    for op in step_gemm_ops(network, algorithm, accelerator, batch):
+        run = accelerator.run_gemm(
+            op.gemm, write_output=op.write_output, fuse_norm=op.fuse_norm)
+        phases[op.phase] = phases[op.phase] + run
+        if op_log is not None:
+            op_log.append((op, run))
+    report = TrainingReport(
+        network=network.name,
+        family=network.family,
+        algorithm=algorithm,
+        accelerator=accelerator.name,
+        with_ppu=accelerator.ppu is not None,
+        batch=batch,
+        frequency_hz=accelerator.frequency_hz,
+        phases=phases,
+    )
+    return report, op_log
+
+
 def simulate_training_step(
     network: Network,
     algorithm: Algorithm,
@@ -432,6 +471,7 @@ def simulate_training_step(
     batch: int,
     *,
     overlap: bool = True,
+    recorder: "TraceRecorder | None" = None,
 ) -> "TrainingReport | ClusterTrainingReport":
     """Simulate one training step and return the per-phase report.
 
@@ -445,25 +485,23 @@ def simulate_training_step(
     :func:`repro.training.batch.training_step_batch` evaluates the same
     decomposition over whole config grids in NumPy and is pinned
     cycle-identical to this driver.
+
+    ``recorder`` (a :class:`repro.obs.trace.TraceRecorder`) lays the
+    step's per-phase and per-GEMM spans on the recorder's simulated
+    timeline; ``None`` (default) records nothing and changes nothing.
     """
     if isinstance(accelerator, Cluster):
         return simulate_sharded_training_step(
-            network, algorithm, accelerator, batch, overlap=overlap)
-    phases = step_vector_runs(network, algorithm, accelerator, batch)
-    for op in step_gemm_ops(network, algorithm, accelerator, batch):
-        phases[op.phase] = phases[op.phase] + accelerator.run_gemm(
-            op.gemm, write_output=op.write_output, fuse_norm=op.fuse_norm)
+            network, algorithm, accelerator, batch, overlap=overlap,
+            recorder=recorder)
+    report, op_log = _simulate_chip_step(
+        network, algorithm, accelerator, batch, recorder is not None)
+    if recorder is not None:
+        from repro.obs.trace import add_training_step_spans
 
-    return TrainingReport(
-        network=network.name,
-        family=network.family,
-        algorithm=algorithm,
-        accelerator=accelerator.name,
-        with_ppu=accelerator.ppu is not None,
-        batch=batch,
-        frequency_hz=accelerator.frequency_hz,
-        phases=phases,
-    )
+        assert op_log is not None
+        add_training_step_spans(recorder, report, op_log)
+    return report
 
 
 def allreduce_payload_bytes(network: Network,
@@ -511,6 +549,7 @@ def simulate_sharded_training_step(
     global_batch: int,
     *,
     overlap: bool = True,
+    recorder: "TraceRecorder | None" = None,
 ) -> ClusterTrainingReport:
     """Simulate one data-parallel training step sharded across a cluster.
 
@@ -535,6 +574,10 @@ def simulate_sharded_training_step(
     single monolithic bucket, whose payload only exists once backward
     has finished — charges the full serial time, identical to the
     pre-overlap model.
+
+    ``recorder`` traces the shard's phase/GEMM spans plus the
+    collective stage, with any overlapped wire time rendered as an
+    async ``hidden`` slice (see :mod:`repro.obs.trace`).
     """
     n = cluster.n_chips
     if global_batch <= 0:
@@ -543,8 +586,9 @@ def simulate_sharded_training_step(
         raise ValueError(
             f"global batch {global_batch} does not divide evenly across "
             f"{n} chips")
-    shard = simulate_training_step(
-        network, algorithm, cluster.chip, global_batch // n)
+    shard, op_log = _simulate_chip_step(
+        network, algorithm, cluster.chip, global_batch // n,
+        recorder is not None)
     payloads = allreduce_payload_bytes(network, algorithm, global_batch)
     total_s = sum(cluster.allreduce_seconds(p) for p in payloads)
     wire_bytes = sum(cluster.link_bytes(p) for p in payloads)
@@ -568,7 +612,7 @@ def simulate_sharded_training_step(
         hidden_cycles=total_cycles - exposed_cycles,
         link_bytes=wire_bytes,
     )
-    return ClusterTrainingReport(
+    report = ClusterTrainingReport(
         cluster=cluster.name,
         n_chips=n,
         topology=cluster.topology,
@@ -577,6 +621,12 @@ def simulate_sharded_training_step(
         comm=comm,
         overlap=overlap,
     )
+    if recorder is not None:
+        from repro.obs.trace import add_cluster_step_spans
+
+        assert op_log is not None
+        add_cluster_step_spans(recorder, report, op_log)
+    return report
 
 
 def _noise_and_update(accel: Accelerator, params: int) -> OpRun:

@@ -302,6 +302,62 @@ def test_oracle_guard_fail(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# R006: wall-clock isolation
+# ---------------------------------------------------------------------------
+
+def test_walltime_flags_module_and_bare_clock_reads(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+        from time import perf_counter as pc
+
+        def simulate():
+            start = time.time()
+            mid = time.monotonic()
+            end = pc()
+            return end - start + mid
+    """, select={"R006"})
+    assert rule_ids(findings) == ["R006"]
+    assert len(findings) == 3
+    assert any("time.time" in f.message for f in findings)
+    assert any("'pc'" in f.message for f in findings)
+
+
+def test_walltime_flags_datetime_now(tmp_path):
+    findings = lint_source(tmp_path, """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+    """, select={"R006"})
+    assert rule_ids(findings) == ["R006"]
+
+
+def test_walltime_allows_sleep_and_simulated_time(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+
+        def simulate(now_s, service_s):
+            time.sleep(0.0)
+            return now_s + service_s
+    """, select={"R006"})
+    assert findings == []
+
+
+def test_walltime_allowlists_obs_and_run_all():
+    """The sanctioned homes really are exempt (they read host clocks)."""
+    from repro.analysis.walltime import WalltimeRule
+
+    project = Project.load(REPO_ROOT, [
+        REPO_ROOT / "src" / "repro" / "obs",
+        REPO_ROOT / "src" / "repro" / "experiments" / "run_all.py"])
+    assert run_rules(project, [WalltimeRule()]) == []
+    # Sanity: the profiler actually contains host-clock reads, so the
+    # empty result above is the allowlist at work, not a no-op scan.
+    source = (REPO_ROOT / "src" / "repro" / "obs" / "profile.py")
+    assert "perf_counter" in source.read_text()
+
+
+# ---------------------------------------------------------------------------
 # framework: pragmas, baseline, CLI, registry
 # ---------------------------------------------------------------------------
 
@@ -334,9 +390,9 @@ def test_baseline_split(tmp_path):
     assert stale == ["bogus::R9::x"]
 
 
-def test_registry_has_five_rules():
+def test_registry_has_six_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["R001", "R002", "R003", "R004", "R005"]
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
     assert all(rule.title for rule in all_rules())
 
 

@@ -37,6 +37,11 @@ SERVE_JOBS_PER_SEC_FLOOR = 10_000.0
 #: The autoscaled run pays a per-event scale decision on top of the
 #: static streaming loop, so its floor sits below the static one.
 SERVE_AUTOSCALE_JOBS_PER_SEC_FLOOR = 5_000.0
+#: Observability in-loop overhead ceiling: the instrumented 1M-job
+#: run (repro.obs tracing + metrics attached, export deferred) must
+#: stay within 10% of the uninstrumented wall time — instrumentation
+#: that slows the hot loop more than that is a regression.
+OVERHEAD_CEILING = 1.10
 
 
 def _load(name: str) -> dict | None:
@@ -82,6 +87,20 @@ def check_serve(failures: list[str]) -> None:
     if record is None:
         return
     for point in record.get("points", []):
+        if point.get("instrumented"):
+            # Instrumented points are measured for overhead, not raw
+            # throughput — the uninstrumented twin owns the floor.
+            ratio = point.get("overhead_ratio")
+            if ratio is None:
+                failures.append(
+                    f"serve streaming instrumented point "
+                    f"({point.get('jobs')} jobs) lacks overhead_ratio")
+            elif ratio > OVERHEAD_CEILING:
+                failures.append(
+                    f"serve streaming observability overhead "
+                    f"({point.get('jobs')} jobs): {ratio:.3f}x > "
+                    f"ceiling {OVERHEAD_CEILING:.2f}x")
+            continue
         rate = point.get("jobs_per_sec", 0.0)
         if point.get("autoscale"):
             floor = SERVE_AUTOSCALE_JOBS_PER_SEC_FLOOR
