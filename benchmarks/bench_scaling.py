@@ -115,7 +115,7 @@ def test_batched_sweep_speedup_vs_pool(capsys):
                 for bucket in (None, 2**20, 4 * 2**20):
                     scaling_work.append(
                         (model, chips, algorithm, "strong", "ring", base,
-                         True, bucket, 1, clamped))
+                         True, bucket, 1, clamped, 1, 1, None))
     design_work = [(model, h, h)
                    for model in ("SqueezeNet", "MobileNet")
                    for h in (32, 48, 64, 96, 128, 160, 192, 256)]
@@ -150,3 +150,42 @@ def test_batched_sweep_speedup_vs_pool(capsys):
                   f"{section['speedup']:.1f}x")
     for section in sections.values():
         assert section["speedup"] >= 5.0
+
+
+def test_grid3d_sweep(capsys):
+    """Time a batched DP x PP x TP grid and persist its throughput.
+
+    Sweeps every (pp, tp) factorization of an 8-chip cluster across
+    two fabrics, checks the batched rows stay value-identical to the
+    scalar 3D simulator (the pinned oracle), and records a ``grid3d``
+    section in ``BENCH_scaling.json`` (floor-checked in CI) so the
+    pipeline-schedule path cannot silently fall back to a slow loop.
+    """
+    chips = 8
+    grids = [(pp, tp) for pp in (1, 2, 4, 8) for tp in (1, 2, 4, 8)
+             if pp * tp <= chips and chips % (pp * tp) == 0]
+    work = []
+    for model in ("SqueezeNet", "VGG-16"):
+        base, clamped = scaling.default_global_batch_info(model, (chips,))
+        for pp, tp in grids:
+            for fabric in (None, "two-tier"):
+                work.append((model, chips, "DP-SGD", "strong", "ring",
+                             base, True, BUCKET_BYTES, 1, clamped,
+                             pp, tp, fabric))
+
+    batched_rows, wall = _timed(scaling.evaluate_points_batched, work)
+    scalar_rows = [scaling.evaluate_point(*point) for point in work]
+    assert batched_rows == scalar_rows  # value-identical, not close
+
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload["grid3d"] = {
+        "points": len(work),
+        "wall_seconds": wall,
+        "points_per_sec": len(work) / wall,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        print(f"\n3D-grid sweep — {len(work)} points in {wall*1e3:.0f}ms "
+              f"({len(work) / wall:.0f}/s)")

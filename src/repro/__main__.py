@@ -136,6 +136,11 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             bucket_bytes=(int(args.bucket_mb * 2**20)
                           if args.bucket_mb is not None else None),
             chips_per_node=args.chips_per_node,
+            pp=args.pp,
+            tp=args.tp,
+            plan_mode=args.plan_mode,
+            fabric=args.fabric,
+            hbm_gb=args.hbm_gb,
             jobs=args.jobs,
             cache=cache,
             stats=stats,
@@ -178,6 +183,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             bucket_bytes=(int(args.bucket_mb * 2**20)
                           if args.bucket_mb is not None else None),
             overlap=args.overlap,
+            pp=args.pp,
+            tp=args.tp,
+            fabric=args.fabric,
             epsilon_budget=args.epsilon_budget,
             delta=args.delta,
             streaming=args.streaming,
@@ -340,6 +348,28 @@ def main(argv: list[str] | None = None) -> int:
     scal.add_argument("--batch", type=int, default=None,
                       help="global batch at one chip (default: largest "
                            "feasible multiple of lcm(chips))")
+    scal.add_argument("--pp", type=int, default=1, metavar="P",
+                      help="pipeline-parallel stages per grid point; "
+                           "pp*tp must divide every chip count "
+                           "(default: 1)")
+    scal.add_argument("--tp", type=int, default=1, metavar="T",
+                      help="tensor-parallel shards per grid point "
+                           "(default: 1)")
+    scal.add_argument("--plan", choices=["fixed", "auto"],
+                      default="fixed", dest="plan_mode",
+                      help="fixed: apply --pp/--tp everywhere; auto: "
+                           "pick the fastest memory-feasible "
+                           "DP x PP x TP factorization per point")
+    scal.add_argument("--fabric", choices=["two-tier", "uniform"],
+                      default=None,
+                      help="heterogeneous link preset (fast intra-node "
+                           "+ slow cross-node); default: uniform "
+                           "100 GB/s links")
+    scal.add_argument("--hbm-gb", type=float, default=None,
+                      metavar="GB",
+                      help="per-chip HBM capacity in GiB for --plan "
+                           "auto feasibility (default: the chip's "
+                           "16 GiB)")
     scal.add_argument("--jobs", type=int, default=None,
                       help="accepted for compatibility; the sweep is "
                            "analytic and runs batched in-process "
@@ -395,6 +425,16 @@ def main(argv: list[str] | None = None) -> int:
                        help="hide bucketed gradient allreduces behind "
                             "backward compute in service-time "
                             "predictions")
+    serve.add_argument("--pp", type=int, default=1, metavar="P",
+                       help="pipeline-parallel stages carved out of "
+                            "each cluster (default: 1)")
+    serve.add_argument("--tp", type=int, default=1, metavar="T",
+                       help="tensor-parallel shards per pipeline stage "
+                            "(default: 1)")
+    serve.add_argument("--fabric", choices=["two-tier", "uniform"],
+                       default=None,
+                       help="heterogeneous link preset for cluster "
+                            "collectives (default: homogeneous links)")
     serve.add_argument("--epsilon-budget", type=float, default=3.0,
                        metavar="EPS",
                        help="per-tenant lifetime epsilon budget "

@@ -1,0 +1,139 @@
+"""R007: link-rate homing — raw link bandwidth/latency literals live in
+``arch/interconnect.py``.
+
+The interconnect model (and now the heterogeneous :class:`Fabric`
+presets) is the single source of truth for every link rate the
+simulators charge: ``DEFAULT_LINK_BANDWIDTH_BYTES_PER_S``,
+``DEFAULT_LINK_LATENCY_S`` and the named :data:`~repro.arch.
+interconnect.FABRICS`.  A ``100e9`` scribbled into a call site or a
+keyword default silently forks that truth — the scalar and batched
+engines drift apart, and a fabric preset change no longer reaches
+every consumer.
+
+The rule flags a *numeric literal* (including ``100e9``-style
+expressions built only from constants) wherever it is bound to a
+link-rate name:
+
+* an assignment to a name containing ``bandwidth`` or ``latency``;
+* a keyword argument by one of those names at a call site;
+* a function-parameter default for one of those names.
+
+Memory-system rates are a different subsystem with their own paper
+tables, so names mentioning ``dram``/``sram``/``mem`` are exempt, as
+are the sanctioned homes: ``arch/interconnect.py`` itself plus the
+DRAM/SRAM models (``arch/memory.py``, ``arch/gpu.py``,
+``arch/bandwidth.py``) and the Table-1 bandwidth experiment.  Test
+files are not linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+#: The single sanctioned home of link-rate constants.
+_ALLOWED_FILES = (
+    "src/repro/arch/interconnect.py",
+    # Memory-system rates (DRAM / SRAM) are a separate subsystem.
+    "src/repro/arch/memory.py",
+    "src/repro/arch/gpu.py",
+    "src/repro/arch/bandwidth.py",
+    "src/repro/experiments/table1_bandwidth.py",
+)
+
+#: Name fragments that mark a binding as a link rate.
+_RATE_FRAGMENTS = ("bandwidth", "latency")
+
+#: Name fragments that mark a rate as a memory-system one (exempt).
+_MEMORY_FRAGMENTS = ("dram", "sram", "mem")
+
+
+def _is_rate_name(name: str) -> bool:
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _MEMORY_FRAGMENTS):
+        return False
+    return any(fragment in lowered for fragment in _RATE_FRAGMENTS)
+
+
+def _is_numeric_literal(node: ast.expr | None) -> bool:
+    """True for a number or an expression built only from numbers.
+
+    Catches ``100e9``, ``-5e-6``, ``25 * 2**30`` — anything that bakes
+    a concrete rate into the source instead of naming a constant.
+    """
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp):
+        return _is_numeric_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_numeric_literal(node.left) \
+            and _is_numeric_literal(node.right)
+    return False
+
+
+@register
+class BandwidthHomingRule(Rule):
+    """Flag raw link-rate literals outside ``arch/interconnect.py``."""
+
+    rule_id = "R007"
+    title = "link-rate homing (raw bandwidth/latency literals live in " \
+            "arch.interconnect)"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.rel in _ALLOWED_FILES:
+                continue
+            for node in ast.walk(module.tree):
+                yield from self._check_node(module, node)
+
+    def _check_node(
+            self, module: Module, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and _is_rate_name(target.id) \
+                        and _is_numeric_literal(node.value):
+                    yield self._finding(module, node.lineno, target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) \
+                    and _is_rate_name(node.target.id) \
+                    and _is_numeric_literal(node.value):
+                yield self._finding(module, node.lineno, node.target.id)
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is not None \
+                        and _is_rate_name(keyword.arg) \
+                        and _is_numeric_literal(keyword.value):
+                    yield self._finding(
+                        module, keyword.value.lineno, keyword.arg)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_defaults(module, node)
+
+    def _check_defaults(
+            self, module: Module,
+            node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterator[Finding]:
+        positional = node.args.posonlyargs + node.args.args
+        defaults: list[tuple[ast.arg, ast.expr | None]] = list(
+            zip(positional[len(positional) - len(node.args.defaults):],
+                node.args.defaults))
+        defaults += list(zip(node.args.kwonlyargs, node.args.kw_defaults))
+        for arg, default in defaults:
+            if _is_rate_name(arg.arg) and _is_numeric_literal(default):
+                assert default is not None
+                yield self._finding(module, default.lineno, arg.arg)
+
+    def _finding(self, module: Module, line: int, name: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id, path=module.rel, line=line,
+            message=f"raw link-rate literal bound to {name!r} outside "
+                    f"arch.interconnect",
+            hint="name the rate in repro.arch.interconnect (DEFAULT_* "
+                 "constants or a Fabric preset) and import it; literal "
+                 "rates fork the single source of truth the scalar and "
+                 "batched engines share")

@@ -2,11 +2,15 @@
 and multi-chip clusters."""
 
 from repro.arch.accelerator import Accelerator, OpRun
-from repro.arch.cluster import Cluster
+from repro.arch.cluster import Cluster, ParallelPlan
 from repro.arch.interconnect import (
+    FABRICS,
     TOPOLOGIES,
+    Fabric,
     Interconnect,
     InterconnectConfig,
+    LinkClass,
+    fabric_named,
 )
 from repro.arch.bandwidth import (
     SramBandwidth,
@@ -23,9 +27,14 @@ __all__ = [
     "Accelerator",
     "OpRun",
     "Cluster",
+    "ParallelPlan",
     "Interconnect",
     "InterconnectConfig",
     "TOPOLOGIES",
+    "FABRICS",
+    "Fabric",
+    "LinkClass",
+    "fabric_named",
     "ArrayConfig",
     "GemmEngine",
     "GemmStats",

@@ -33,7 +33,11 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.arch.engine import GemmEngine
-from repro.arch.interconnect import TOPOLOGIES
+from repro.arch.interconnect import (
+    DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_LINK_LATENCY_S,
+    TOPOLOGIES,
+)
 from repro.workloads.gemms import Gemm
 
 #: Integer codes the vectorized collective model uses for topologies.
@@ -266,9 +270,22 @@ def n_buckets_batch(payload_bytes: NDArray[Any], bucket_bytes: NDArray[Any]) -> 
 
 def _one_allreduce_seconds_batch(
     payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
-    chips_per_node: NDArray[Any], bandwidth: float, latency: float,
+    chips_per_node: NDArray[Any],
+    bandwidth: "float | NDArray[Any]", latency: "float | NDArray[Any]",
+    intra_bandwidth: "float | NDArray[Any] | None" = None,
+    intra_latency: "float | NDArray[Any] | None" = None,
 ) -> NDArray[Any]:
-    """Seconds of one unbucketed allreduce, per topology code."""
+    """Seconds of one unbucketed allreduce, per topology code.
+
+    ``bandwidth`` / ``latency`` describe the cross-node link class;
+    ``intra_bandwidth`` / ``intra_latency`` (defaulting to the same
+    values — the uniform fabric) price the hierarchical topology's
+    in-node stage, mirroring the scalar fabric resolution.
+    """
+    if intra_bandwidth is None:
+        intra_bandwidth = bandwidth
+    if intra_latency is None:
+        intra_latency = latency
     n = n_chips
     ring = 2 * (n - 1) * (payload_bytes / (n * bandwidth) + latency)
     a2a = 2 * (payload_bytes / (n * bandwidth) + latency)
@@ -276,7 +293,7 @@ def _one_allreduce_seconds_batch(
     # Guard k against degenerate (masked-out) entries so the eager
     # numpy arithmetic never divides by zero; valid entries have k >= 1.
     k = np.maximum(n // np.maximum(m, 1), 1)
-    in_node = 2 * (payload_bytes / (m * bandwidth) + latency)
+    in_node = 2 * (payload_bytes / (m * intra_bandwidth) + intra_latency)
     cross = 2 * (k - 1) * (payload_bytes / ((m * k) * bandwidth) + latency)
     hier = (np.where(m > 1, in_node, 0.0)
             + np.where(k > 1, cross, 0.0))
@@ -289,14 +306,18 @@ def _one_allreduce_seconds_batch(
 def allreduce_seconds_batch(
     payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
     bucket_bytes: NDArray[Any], chips_per_node: NDArray[Any],
-    bandwidth: float = 100e9, latency: float = 1e-6,
+    bandwidth: "float | NDArray[Any]" = DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+    latency: "float | NDArray[Any]" = DEFAULT_LINK_LATENCY_S,
+    intra_bandwidth: "float | NDArray[Any] | None" = None,
+    intra_latency: "float | NDArray[Any] | None" = None,
 ) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.allreduce_seconds` (total wire time)."""
+    links = (bandwidth, latency, intra_bandwidth, intra_latency)
     full, size, rem = _bucket_shape_batch(payload_bytes, bucket_bytes)
     seconds = full * _one_allreduce_seconds_batch(
-        size, n_chips, topology, chips_per_node, bandwidth, latency)
+        size, n_chips, topology, chips_per_node, *links)
     rem_seconds = _one_allreduce_seconds_batch(
-        rem, n_chips, topology, chips_per_node, bandwidth, latency)
+        rem, n_chips, topology, chips_per_node, *links)
     seconds = np.where(rem > 0, seconds + rem_seconds, seconds)
     return np.where((n_chips <= 1) | (payload_bytes <= 0), 0.0, seconds)
 
@@ -304,12 +325,16 @@ def allreduce_seconds_batch(
 def first_bucket_seconds_batch(
     payload_bytes: NDArray[Any], n_chips: NDArray[Any], topology: NDArray[Any],
     bucket_bytes: NDArray[Any], chips_per_node: NDArray[Any],
-    bandwidth: float = 100e9, latency: float = 1e-6,
+    bandwidth: "float | NDArray[Any]" = DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+    latency: "float | NDArray[Any]" = DEFAULT_LINK_LATENCY_S,
+    intra_bandwidth: "float | NDArray[Any] | None" = None,
+    intra_latency: "float | NDArray[Any] | None" = None,
 ) -> NDArray[Any]:
     """Vectorized :meth:`Interconnect.first_bucket_seconds`."""
     _, size, _ = _bucket_shape_batch(payload_bytes, bucket_bytes)
     seconds = _one_allreduce_seconds_batch(
-        size, n_chips, topology, chips_per_node, bandwidth, latency)
+        size, n_chips, topology, chips_per_node, bandwidth, latency,
+        intra_bandwidth, intra_latency)
     return np.where((n_chips <= 1) | (payload_bytes <= 0), 0.0, seconds)
 
 

@@ -19,9 +19,70 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.arch.accelerator import Accelerator, OpRun
 from repro.arch.interconnect import Interconnect, InterconnectConfig
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """A 3D parallelism grid: ``dp`` replicas x ``pp`` stages x ``tp`` shards.
+
+    The product must equal the cluster's chip count.  ``dp`` replicas
+    each process ``global_batch / dp`` examples; ``pp`` pipeline stages
+    partition the layer sequence (GPipe-style microbatched schedule);
+    ``tp`` tensor-parallel ranks shard every GEMM's output dimension
+    (Megatron-style column parallelism) and allgather activations on
+    the fabric's intra-node link.  ``ParallelPlan()`` on an N-chip
+    cluster means pure data parallelism only when ``dp == N``; the
+    degenerate ``pp == tp == 1`` plan routes through the existing DP
+    path bit for bit.
+
+    ``microbatches=None`` resolves to ``min(4*pp, local_batch)`` when
+    ``pp > 1`` (a standard fill-efficiency heuristic: bubble fraction
+    ``(pp-1)/M`` drops below ~25%) and to 1 otherwise.
+    """
+
+    dp: int = 1
+    pp: int = 1
+    tp: int = 1
+    microbatches: int | None = None
+
+    def __post_init__(self) -> None:
+        for axis in ("dp", "pp", "tp"):
+            if getattr(self, axis) < 1:
+                raise ValueError(
+                    f"{axis} must be >= 1, got {getattr(self, axis)}")
+        if self.microbatches is not None and self.microbatches < 1:
+            raise ValueError(
+                f"microbatches must be >= 1 (or None), "
+                f"got {self.microbatches}")
+
+    @property
+    def n_chips(self) -> int:
+        return self.dp * self.pp * self.tp
+
+    @property
+    def is_pure_dp(self) -> bool:
+        return self.pp == 1 and self.tp == 1
+
+    def validate(self, n_chips: int) -> None:
+        if self.n_chips != n_chips:
+            raise ValueError(
+                f"plan {self} uses {self.n_chips} chips but the cluster "
+                f"has {n_chips}")
+
+    def resolved_microbatches(self, local_batch: int) -> int:
+        """The microbatch count the pipeline schedule actually runs."""
+        if self.microbatches is not None:
+            return min(self.microbatches, local_batch)
+        if self.pp == 1:
+            return 1
+        return max(1, min(4 * self.pp, local_batch))
+
+    def __str__(self) -> str:
+        return f"dp{self.dp}·pp{self.pp}·tp{self.tp}"
 
 
 class Cluster:

@@ -58,6 +58,20 @@ producing later buckets, which is how
 communication behind the backward pass (it charges only the *exposed*
 remainder).  ``bucket_bytes=None`` (default) keeps one monolithic
 bucket, making bucketed and unbucketed times identical.
+
+Fabrics
+-------
+A :class:`Fabric` names two link classes — a fast ``intra_node`` link
+(NVLink/ICI-style, shared by chips on one board) and a slower
+``cross_node`` link (NIC-style, between boards).  Collectives pick the
+link class that matches where their traffic flows: tensor-parallel
+allgathers ride the intra-node link, data-parallel allreduces and
+pipeline boundary transfers ride the cross-node link, and the
+``hierarchical`` topology's in-node stage uses the intra-node link
+while its cross-node ring uses the other.  The default
+(``fabric=None``) resolves to a *uniform* fabric built from the
+config's scalar ``link_bandwidth_bytes_per_s`` / ``link_latency_s``,
+which reproduces the single-link-class model bit for bit.
 """
 
 from __future__ import annotations
@@ -67,6 +81,104 @@ from dataclasses import dataclass
 
 #: Supported interconnect topologies.
 TOPOLOGIES = ("ring", "all_to_all", "hierarchical")
+
+#: Default per-direction link bandwidth (contemporary accelerator
+#: interconnect, 100 GB/s).  The single sanctioned home of the raw
+#: constant — everything outside this module must route through a
+#: :class:`Fabric` / :class:`InterconnectConfig` (lint rule R007).
+DEFAULT_LINK_BANDWIDTH_BYTES_PER_S = 100e9
+#: Default per-hop link latency (~1 microsecond).
+DEFAULT_LINK_LATENCY_S = 1e-6
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """One named class of chip-to-chip links (bandwidth + hop latency)."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"link class {self.name!r}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError(
+                f"link class {self.name!r}: latency cannot be negative")
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A heterogeneous interconnect: fast intra-node, slow cross-node links.
+
+    Degenerate fabrics (both classes identical) reproduce the uniform
+    single-link model exactly — the resolution in
+    :meth:`InterconnectConfig.links` feeds the same floats through the
+    same expressions, so existing results stay bitwise-identical.
+    """
+
+    intra_node: LinkClass
+    cross_node: LinkClass
+
+    @staticmethod
+    def uniform(
+        bandwidth_bytes_per_s: float = DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+        latency_s: float = DEFAULT_LINK_LATENCY_S,
+    ) -> "Fabric":
+        """A degenerate fabric whose two link classes are identical."""
+        link = LinkClass("uniform", bandwidth_bytes_per_s, latency_s)
+        return Fabric(intra_node=link, cross_node=link)
+
+
+#: Named fabric presets for the CLI (``--fabric``).
+FABRICS: dict[str, Fabric] = {
+    "uniform": Fabric.uniform(),
+    "two-tier": Fabric(
+        intra_node=LinkClass("nvlink", 300e9, 0.5e-6),
+        cross_node=LinkClass("nic", 25e9, 5e-6),
+    ),
+}
+
+
+def fabric_named(name: str) -> Fabric:
+    """Look up a preset fabric by CLI name."""
+    try:
+        return FABRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fabric {name!r}; choose from {sorted(FABRICS)}"
+        ) from None
+
+
+# -- link-polymorphic collective forms ---------------------------------------
+#
+# Closed-form costs shared verbatim by the scalar Interconnect methods
+# and the NumPy batched evaluator (repro.arch.batch): both call these
+# with the same operand order, so scalar floats and float64 arrays walk
+# the identical expression tree and stay bitwise-equal.
+
+def tensor_collective_seconds(payload_bytes, collectives, tp,
+                              bandwidth, latency):
+    """Aggregate time of ``collectives`` ring allgathers over a TP group.
+
+    Each allgather of a ``p_g``-byte gathered tensor over ``tp`` ranks
+    costs ``(tp-1) * (p_g/(tp*bw) + lat)``; summed over the step's
+    collectives with total gathered payload ``payload_bytes`` this
+    factors into the closed form below.
+    """
+    return (tp - 1) * (payload_bytes / (tp * bandwidth)
+                       + collectives * latency)
+
+
+def pipeline_boundary_seconds(micro_cut_bytes, cuts, bandwidth, latency):
+    """Exposed fill+drain time of the pipeline's boundary transfers.
+
+    One microbatch's activations cross every cut going forward and its
+    gradients cross back — ``2 * (bytes/bw + cuts * lat)``.  Steady-state
+    transfers overlap with compute and are not exposed.
+    """
+    return 2 * (micro_cut_bytes / bandwidth + cuts * latency)
 
 
 @dataclass(frozen=True)
@@ -79,13 +191,27 @@ class InterconnectConfig:
     ``bucket_bytes`` enables DDP-style gradient bucketing (``None`` =
     one monolithic bucket).  ``chips_per_node`` is the island size of
     the ``hierarchical`` topology and must be 1 for the flat ones.
+
+    ``fabric`` switches to heterogeneous link classes; when set it
+    *overrides* the scalar ``link_bandwidth_bytes_per_s`` /
+    ``link_latency_s`` pair (which then only describes the legacy
+    uniform resolution, see :meth:`links`).
     """
 
     topology: str = "ring"
-    link_bandwidth_bytes_per_s: float = 100e9
-    link_latency_s: float = 1e-6
+    link_bandwidth_bytes_per_s: float = DEFAULT_LINK_BANDWIDTH_BYTES_PER_S
+    link_latency_s: float = DEFAULT_LINK_LATENCY_S
     bucket_bytes: int | None = None
     chips_per_node: int = 1
+    fabric: Fabric | None = None
+
+    @property
+    def links(self) -> Fabric:
+        """The resolved fabric (uniform from the scalars when unset)."""
+        if self.fabric is not None:
+            return self.fabric
+        return Fabric.uniform(
+            self.link_bandwidth_bytes_per_s, self.link_latency_s)
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -169,8 +295,9 @@ class Interconnect:
                                n_chips: int) -> float:
         """Wall-clock seconds of one *unbucketed* allreduce."""
         cfg = self.config
-        bw = cfg.link_bandwidth_bytes_per_s
-        lat = cfg.link_latency_s
+        fab = cfg.links
+        bw = fab.cross_node.bandwidth_bytes_per_s
+        lat = fab.cross_node.latency_s
         if cfg.topology == "ring":
             return 2 * (n_chips - 1) * (
                 payload_bytes / (n_chips * bw) + lat)
@@ -178,8 +305,10 @@ class Interconnect:
             return 2 * (payload_bytes / (n_chips * bw) + lat)
         m, k = self._node_shape(n_chips)
         seconds = 0.0
-        if m > 1:  # in-node reduce-scatter + all-gather (direct)
-            seconds += 2 * (payload_bytes / (m * bw) + lat)
+        if m > 1:  # in-node reduce-scatter + all-gather (direct, fast link)
+            seconds += 2 * (
+                payload_bytes / (m * fab.intra_node.bandwidth_bytes_per_s)
+                + fab.intra_node.latency_s)
         if k > 1:  # cross-node ring allreduce of the payload/M shard
             seconds += 2 * (k - 1) * (
                 payload_bytes / (m * k * bw) + lat)
@@ -214,6 +343,65 @@ class Interconnect:
             return 0.0
         return self._one_allreduce_seconds(
             self._bucket_shape(payload_bytes)[1], n_chips)
+
+    # -- model-parallel collectives ------------------------------------------
+
+    def tp_collective_seconds(self, payload_bytes: int, collectives: int,
+                              tp: int) -> float:
+        """Aggregate tensor-parallel allgather time on the intra-node link.
+
+        ``payload_bytes`` is the step's total *gathered* activation
+        traffic across ``collectives`` per-layer allgathers; a TP group
+        of 1 is free.
+        """
+        if tp <= 1 or payload_bytes <= 0:
+            return 0.0
+        link = self.config.links.intra_node
+        return tensor_collective_seconds(
+            payload_bytes, collectives, tp,
+            link.bandwidth_bytes_per_s, link.latency_s)
+
+    def pp_boundary_seconds(self, micro_cut_bytes: int, cuts: int) -> float:
+        """Exposed pipeline fill+drain transfer time on the cross-node link."""
+        if cuts <= 0 or micro_cut_bytes <= 0:
+            return 0.0
+        link = self.config.links.cross_node
+        return pipeline_boundary_seconds(
+            micro_cut_bytes, cuts,
+            link.bandwidth_bytes_per_s, link.latency_s)
+
+    @staticmethod
+    def tp_link_bytes_per_chip(payload_bytes: int, collectives: int,
+                               tp: int) -> int:
+        """Per-chip wire bytes of the step's TP ring allgathers.
+
+        Each rank forwards ``tp - 1`` shards per allgather; shards are
+        rounded per collective (``ceil`` of the average gathered size),
+        mirroring the flat-allreduce shard-first rounding.
+        """
+        if tp <= 1 or payload_bytes <= 0 or collectives <= 0:
+            return 0
+        # Integer ceil-divs (no float round trip) so the NumPy batched
+        # mirror reproduces the bytes exactly at any payload size.
+        shard = -(-(-(-payload_bytes // collectives)) // tp)
+        return collectives * (tp - 1) * shard
+
+    @staticmethod
+    def pp_link_bytes_per_chip(micro_cut_bytes: int, cuts: int,
+                               microbatches: int, pp: int) -> int:
+        """Per-chip wire bytes of the pipeline's boundary transfers.
+
+        Charges the busiest (interior) stage: it sends and receives one
+        boundary tensor per microbatch in each direction, so over the
+        whole step it moves ``2 * M`` passes over its adjacent cuts —
+        approximated by the average per-cut bytes times the (at most
+        two) cuts a stage touches.
+        """
+        if cuts <= 0 or micro_cut_bytes <= 0 or pp <= 1:
+            return 0
+        per_cut = -(-micro_cut_bytes // cuts)
+        touched = 2 if pp > 2 else 1
+        return 2 * microbatches * touched * per_cut
 
     # -- wire bytes ----------------------------------------------------------
 

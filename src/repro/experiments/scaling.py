@@ -92,29 +92,41 @@ def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
                    topology: str, base_batch: int,
                    overlap: bool = True, bucket_bytes: int | None = None,
                    chips_per_node: int = 1,
-                   batch_clamped: bool = False) -> dict:
+                   batch_clamped: bool = False,
+                   pp: int = 1, tp: int = 1,
+                   fabric: str | None = None) -> dict:
     """One scaling point: a sharded step on a ``chips``-wide cluster.
 
     ``base_batch`` is the global batch at one chip; weak scaling grows
-    it with the cluster.  Returns a JSON-serializable dict so results
-    can be persisted by :mod:`repro.experiments.runner`.
+    it with the cluster.  ``pp`` / ``tp`` carve pipeline and tensor
+    parallelism out of the chip count (data parallelism keeps the
+    rest) and ``fabric`` names a heterogeneous link preset.  Returns a
+    JSON-serializable dict so results can be persisted by
+    :mod:`repro.experiments.runner`.
     """
-    from repro.arch.interconnect import InterconnectConfig
+    from repro.arch.cluster import ParallelPlan
+    from repro.arch.interconnect import InterconnectConfig, fabric_named
     from repro.core import build_cluster
     from repro.training import Algorithm, simulate_sharded_training_step
     from repro.workloads import build_model
 
     global_batch = base_batch * chips if mode == "weak" else base_batch
+    if chips % (pp * tp):
+        raise ValueError(
+            f"{chips} chips do not factor into pp={pp} x tp={tp} stages")
+    plan = (ParallelPlan(dp=chips // (pp * tp), pp=pp, tp=tp)
+            if pp * tp > 1 else None)
     cluster = build_cluster(
         "diva", n_chips=chips,
         interconnect=InterconnectConfig(
             topology=topology,
             bucket_bytes=bucket_bytes,
             chips_per_node=chips_per_node if topology == "hierarchical"
-            else 1))
+            else 1,
+            fabric=fabric_named(fabric) if fabric else None))
     report = simulate_sharded_training_step(
         build_model(model), Algorithm(algorithm), cluster, global_batch,
-        overlap=overlap)
+        overlap=overlap, plan=plan)
     return {
         "model": model,
         "algorithm": algorithm,
@@ -127,6 +139,9 @@ def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
                       if bucket_bytes is not None else None),
         "global_batch": global_batch,
         "batch_clamped": batch_clamped,
+        "pp": pp,
+        "tp": tp,
+        "fabric": fabric,
         "local_batch": report.local_batch,
         "step_ms": report.total_seconds * 1e3,
         "compute_ms": report.compute_seconds * 1e3,
@@ -134,6 +149,7 @@ def evaluate_point(model: str, chips: int, algorithm: str, mode: str,
         "comm_total_ms": report.comm_total_seconds * 1e3,
         "comm_hidden_ms": report.comm_hidden_seconds * 1e3,
         "comm_fraction": report.comm_fraction,
+        "bubble_ms": report.bubble_cycles / report.frequency_hz * 1e3,
         "link_mb_per_chip": report.comm.link_bytes / 1e6,
     }
 
@@ -150,8 +166,11 @@ def evaluate_points_batched(points: list[tuple]) -> list[dict]:
 
     if not points:
         return []
+    # Pure-DP work tuples may omit the trailing (pp, tp, fabric).
+    points = [tuple(point) + (1, 1, None)[len(point) - 10:]
+              for point in points]
     (models, chips, algorithms, modes, topologies, bases, overlaps,
-     buckets, nodes, clamped) = map(list, zip(*points))
+     buckets, nodes, clamped, pps, tps, fabrics) = map(list, zip(*points))
     global_batches = [base * n if mode == "weak" else base
                       for base, n, mode in zip(bases, chips, modes)]
     result = sharded_step_batch(
@@ -159,11 +178,11 @@ def evaluate_points_batched(points: list[tuple]) -> list[dict]:
         topologies=topologies, bucket_bytes=buckets,
         chips_per_node=[cpn if topo == "hierarchical" else 1
                         for cpn, topo in zip(nodes, topologies)],
-        overlaps=overlaps)
+        overlaps=overlaps, pps=pps, tps=tps, fabrics=fabrics)
     rows = []
     for i, point in enumerate(points):
         (model, n, algorithm, mode, topology, _, overlap, bucket_bytes,
-         chips_per_node, batch_clamped) = point
+         chips_per_node, batch_clamped, pp, tp, fabric) = point
         rows.append({
             "model": model,
             "algorithm": algorithm,
@@ -176,6 +195,9 @@ def evaluate_points_batched(points: list[tuple]) -> list[dict]:
                           if bucket_bytes is not None else None),
             "global_batch": global_batches[i],
             "batch_clamped": batch_clamped,
+            "pp": pp,
+            "tp": tp,
+            "fabric": fabric,
             "local_batch": int(result.local_batch[i]),
             "step_ms": float(result.total_seconds[i]) * 1e3,
             "compute_ms": float(result.compute_seconds[i]) * 1e3,
@@ -183,6 +205,8 @@ def evaluate_points_batched(points: list[tuple]) -> list[dict]:
             "comm_total_ms": float(result.comm_total_seconds[i]) * 1e3,
             "comm_hidden_ms": float(result.comm_hidden_seconds[i]) * 1e3,
             "comm_fraction": float(result.comm_fraction[i]),
+            "bubble_ms": (int(result.bubble_cycles[i])
+                          / float(result.frequency_hz[i]) * 1e3),
             "link_mb_per_chip": int(result.link_bytes[i]) / 1e6,
         })
     return rows
@@ -198,6 +222,11 @@ def run(
     overlap: bool = True,
     bucket_bytes: int | None = None,
     chips_per_node: int = 1,
+    pp: int = 1,
+    tp: int = 1,
+    plan_mode: str = "fixed",
+    fabric: str | None = None,
+    hbm_gb: float | None = None,
     jobs: int | None = None,
     cache: "runner.ResultCache | None" = None,
     stats: "runner.CacheStats | None" = None,
@@ -205,19 +234,44 @@ def run(
 ) -> list[dict]:
     """Sweep the scaling space; one row per (model, algorithm, chips).
 
+    ``pp`` / ``tp`` apply one fixed DP x PP x TP grid to every chip
+    count; ``plan_mode="auto"`` instead asks the placement planner
+    (:func:`repro.training.plan.plan_placement`) for the fastest
+    memory-feasible factorization of each point, under a per-chip HBM
+    budget of ``hbm_gb`` GiB (the default chip capacity when ``None``).
+    ``fabric`` names a heterogeneous link preset for every point.
+
     Validates every input before fanning out, so a bad sweep fails
     with one clean :class:`ValueError` instead of a worker traceback
     (and never writes partial results into the cache).  ``stats``
     tallies cache hit/miss/stale outcomes (surfaced by the ``scaling``
     CLI); ``profiler`` times the lookup/compute/write stages.
     """
-    from repro.arch.interconnect import TOPOLOGIES
+    from repro.arch.interconnect import TOPOLOGIES, fabric_named
 
     if mode not in ("strong", "weak"):
         raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
     if topology not in TOPOLOGIES:
         raise ValueError(
             f"unknown topology {topology!r}; choose from {TOPOLOGIES}")
+    if plan_mode not in ("fixed", "auto"):
+        raise ValueError(
+            f"plan_mode must be 'fixed' or 'auto', got {plan_mode!r}")
+    if pp < 1 or tp < 1:
+        raise ValueError(f"pp and tp must be >= 1, got pp={pp} tp={tp}")
+    if plan_mode == "auto" and (pp != 1 or tp != 1):
+        raise ValueError(
+            "--plan auto picks pp/tp itself; drop the explicit "
+            "--pp/--tp degrees")
+    if fabric is not None:
+        fabric_named(fabric)  # validate the preset name early
+    if hbm_gb is not None:
+        if plan_mode != "auto":
+            raise ValueError(
+                "hbm_gb only constrains the automatic planner; use "
+                "--plan auto with it")
+        if hbm_gb <= 0:
+            raise ValueError(f"hbm_gb must be positive, got {hbm_gb}")
     chip_counts = tuple(sorted(set(chips)))
     if not chip_counts:
         raise ValueError("chips must name at least one cluster size")
@@ -241,6 +295,12 @@ def run(
         raise ValueError(
             "chips_per_node is only meaningful with "
             f"--topology hierarchical, not {topology!r}")
+    if plan_mode == "fixed" and pp * tp > 1:
+        unfactorable = [n for n in chip_counts if n % (pp * tp)]
+        if unfactorable:
+            raise ValueError(
+                f"chip counts {unfactorable} do not factor into "
+                f"pp={pp} x tp={tp} stages")
     if batch is not None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
@@ -261,9 +321,17 @@ def run(
             base, clamped = default_global_batch_info(model, chip_counts)
         for algorithm in algorithms:
             for n in chip_counts:
+                point_pp, point_tp = pp, tp
+                if plan_mode == "auto":
+                    point_pp, point_tp = _auto_plan(
+                        model, algorithm, n,
+                        base * n if mode == "weak" else base,
+                        topology=topology, bucket_bytes=bucket_bytes,
+                        chips_per_node=chips_per_node, fabric=fabric,
+                        overlap=overlap, hbm_gb=hbm_gb)
                 work.append((model, n, algorithm, mode, topology, base,
                              overlap, bucket_bytes, chips_per_node,
-                             clamped))
+                             clamped, point_pp, point_tp, fabric))
     # The sweep is fully analytic, so it goes through the in-process
     # batched engine (one vectorized evaluation of every cache miss)
     # rather than the process pool; `jobs` is accepted for API
@@ -279,8 +347,40 @@ def run(
                               "overlap": point[6],
                               "bucket_bytes": point[7],
                               "chips_per_node": point[8],
-                              "batch_clamped": point[9]},
+                              "batch_clamped": point[9],
+                              "pp": point[10], "tp": point[11],
+                              "fabric": point[12]},
     )
+
+
+def _auto_plan(model: str, algorithm: str, n_chips: int, global_batch: int,
+               *, topology: str, bucket_bytes: int | None,
+               chips_per_node: int, fabric: str | None, overlap: bool,
+               hbm_gb: float | None) -> tuple[int, int]:
+    """Resolve one point's ``(pp, tp)`` via the placement planner."""
+    from repro.training import Algorithm
+    from repro.training.memory import DEFAULT_CAPACITY_BYTES
+    from repro.training.plan import plan_placement
+    from repro.workloads import build_model
+
+    capacity = (int(hbm_gb * 2**30) if hbm_gb is not None
+                else DEFAULT_CAPACITY_BYTES)
+    placement = plan_placement(
+        build_model(model), Algorithm(algorithm), n_chips, global_batch,
+        capacity_bytes=capacity, topology=topology,
+        bucket_bytes=bucket_bytes,
+        chips_per_node=chips_per_node if topology == "hierarchical" else 1,
+        fabric=fabric, overlap=overlap)
+    best = placement.best
+    if best is None:
+        reasons = sorted({c.reason for c in placement.candidates
+                          if not c.feasible})
+        raise ValueError(
+            f"no feasible DP x PP x TP placement for {model}/{algorithm} "
+            f"at batch {global_batch} on {n_chips} chips "
+            f"({placement.budget_bytes / 2**30:.1f} GiB budget): "
+            + "; ".join(reasons))
+    return best.pp, best.tp
 
 
 def annotate(rows: list[dict]) -> list[dict]:
@@ -297,7 +397,8 @@ def annotate(rows: list[dict]) -> list[dict]:
     def series_key(row: dict) -> tuple:
         return (row["model"], row["algorithm"], row["mode"],
                 row["topology"], row.get("chips_per_node", 1),
-                row.get("overlap", True), row.get("bucket_mb"))
+                row.get("overlap", True), row.get("bucket_mb"),
+                row.get("fabric"))
 
     baselines: dict[tuple, dict] = {}
     for row in rows:
@@ -330,8 +431,16 @@ def render(rows: list[dict] | None = None) -> str:
     overlap = rows[0].get("overlap", True) if rows else True
     bucket_mb = rows[0].get("bucket_mb") if rows else None
     any_clamped = any(row.get("batch_clamped") for row in rows)
+    any_3d = any(row.get("pp", 1) * row.get("tp", 1) > 1 for row in rows)
+
+    def grid_label(row: dict) -> str:
+        pp, tp = row.get("pp", 1), row.get("tp", 1)
+        dp = row["chips"] // (pp * tp)
+        return f"dp{dp}·pp{pp}·tp{tp}"
+
     table = [
         [row["model"], row["algorithm"], row["chips"],
+         *([grid_label(row)] if any_3d else []),
          (f"{row['global_batch']}*" if row.get("batch_clamped")
           else row["global_batch"]),
          row["step_ms"], row["comm_ms"],
@@ -343,7 +452,8 @@ def render(rows: list[dict] | None = None) -> str:
     comm_label = ("bucketed " if bucket_mb else "") + topology
     overlap_label = "overlapped" if overlap else "serial"
     text = format_table(
-        ["Model", "Algorithm", "Chips", "Global B", "Step ms",
+        ["Model", "Algorithm", "Chips",
+         *(["Plan"] if any_3d else []), "Global B", "Step ms",
          "Comm ms", "Comm tot", "Comm %", "Speedup", "Efficiency"],
         table,
         title=(f"Multi-chip data-parallel scaling ({mode} scaling, "

@@ -62,6 +62,9 @@ def run(
     chips_per_node: int = 1,
     bucket_bytes: int | None = None,
     overlap: bool = True,
+    pp: int = 1,
+    tp: int = 1,
+    fabric: str | None = None,
     epsilon_budget: float = DEFAULT_EPSILON_BUDGET,
     delta: float = DEFAULT_DELTA,
     streaming: bool | None = None,
@@ -96,6 +99,10 @@ def run(
     :class:`repro.serve.AutoscalerPolicy`) turns the static fleet
     into a reactive one — both simulators drive the identical scaling
     state, so the comparison stays policy-apples-to-apples.
+
+    ``pp`` / ``tp`` / ``fabric`` shape each cluster's 3D parallel plan
+    (see :class:`repro.serve.FleetConfig`): jobs data-parallelize
+    across the remaining ``dp`` factor of every cluster.
 
     Observability is opt-in and changes nothing when off:
     ``trace_path`` writes one Chrome-trace JSON file covering every
@@ -162,7 +169,8 @@ def run(
                          mean_interarrival_s=mean_interarrival_s)
     fleet = FleetConfig(chips=chips, chips_per_cluster=chips_per_cluster,
                         topology=topology, chips_per_node=chips_per_node,
-                        bucket_bytes=bucket_bytes, overlap=overlap)
+                        bucket_bytes=bucket_bytes, overlap=overlap,
+                        pp=pp, tp=tp, fabric=fabric)
     if profiler is not None:
         profiler.count("trace_jobs", trace_jobs)
         profiler.count("policies", len(policies))

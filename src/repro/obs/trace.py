@@ -234,6 +234,12 @@ def add_cluster_step_spans(
     phases, and any overlapped wire time (``comm.hidden_cycles``)
     becomes an async ``allreduce (hidden)`` slice ending where the
     exposed span begins — the wire was busy *during* backward compute.
+
+    Pipelined steps (``report.pipeline_cycles > 0``) additionally get
+    one track per pipeline stage, each span staggered by one
+    microbatch's fill delay, and the schedule's idle time as an async
+    ``pipeline bubble`` slice — concurrent with the stage stack, the
+    same way hidden allreduce time renders.
     """
     from repro.training.phases import Phase
 
@@ -245,6 +251,28 @@ def add_cluster_step_spans(
         recorder, report.shard, op_log, pid=pid)
     tid = recorder.tid(pid, "phases")
     hz = report.frequency_hz
+    if report.pipeline_cycles > 0 and report.stage_cycles:
+        m = max(report.microbatches, 1)
+        bounds = report.stage_bounds
+        fill_s = 0.0
+        for j, cycles in enumerate(report.stage_cycles):
+            label = f"stage {j}"
+            if len(bounds) > j + 1:
+                label += f" [L{bounds[j]}:{bounds[j + 1]})"
+            stage_tid = recorder.tid(pid, label)
+            recorder.span(label, fill_s, cycles / hz, pid=pid,
+                          tid=stage_tid, cat="pipeline",
+                          args={"cycles": cycles,
+                                "microbatches": report.microbatches})
+            # The next stage starts after one microbatch drains here.
+            fill_s += cycles / m / hz
+        if report.bubble_cycles > 0:
+            bubble_s = report.bubble_cycles / hz
+            recorder.async_span(
+                "pipeline bubble", 0.0, bubble_s, span_id=2, pid=pid,
+                tid=tid, cat="pipeline",
+                args={"bubble_cycles": report.bubble_cycles,
+                      "plan": str(report.plan)})
     comm = report.comm
     if comm.hidden_cycles > 0:
         hidden_s = comm.hidden_cycles / hz

@@ -73,7 +73,10 @@ class FleetConfig:
     ``chips`` total accelerators, grouped into
     ``chips / chips_per_cluster`` identical clusters; each job occupies
     one whole cluster for its lifetime (DP-SGD steps are synchronous,
-    so fractional clusters would serialize anyway).  ``chips_per_node``,
+    so fractional clusters would serialize anyway).  ``pp`` / ``tp``
+    carve pipeline/tensor parallelism out of each cluster (jobs
+    data-parallelize across the remaining ``dp`` factor) and
+    ``fabric`` names a heterogeneous link preset.  ``chips_per_node``,
     ``bucket_bytes`` and ``overlap`` configure the overlap-aware
     intra-cluster communication model
     (:mod:`repro.arch.interconnect`); service-time predictions pick
@@ -87,6 +90,9 @@ class FleetConfig:
     chips_per_node: int = 1
     bucket_bytes: int | None = None
     overlap: bool = True
+    pp: int = 1
+    tp: int = 1
+    fabric: str | None = None
 
     def __post_init__(self) -> None:
         if self.chips < 1:
@@ -99,21 +105,37 @@ class FleetConfig:
             raise ValueError(
                 f"{self.chips} chips do not group into clusters of "
                 f"{self.chips_per_cluster}")
+        if self.pp < 1 or self.tp < 1:
+            raise ValueError(
+                f"pp and tp must be >= 1, got pp={self.pp} tp={self.tp}")
+        if self.chips_per_cluster % (self.pp * self.tp):
+            raise ValueError(
+                f"{self.chips_per_cluster} chips per cluster do not "
+                f"factor into pp={self.pp} x tp={self.tp} stages")
+        if self.fabric is not None:
+            from repro.arch.interconnect import fabric_named
+
+            fabric_named(self.fabric)  # validate the preset name
         # The fabric knobs (topology, bucket_bytes, chips_per_node)
         # validate themselves; only cluster divisibility is ours.
         InterconnectConfig(topology=self.topology,
                            bucket_bytes=self.bucket_bytes,
                            chips_per_node=self.chips_per_node)
-        if self.topology == "hierarchical" and self.chips_per_cluster > 1 \
-                and self.chips_per_cluster % self.chips_per_node:
-            # 1-chip clusters are exempt: they have no collectives.
+        if self.topology == "hierarchical" and self.dp > 1 \
+                and self.dp % self.chips_per_node:
+            # Single-replica clusters are exempt: no DP collectives.
             raise ValueError(
-                f"{self.chips_per_cluster} chips per cluster do not "
+                f"{self.dp} data-parallel chips per cluster do not "
                 f"group into hierarchical nodes of {self.chips_per_node}")
 
     @property
     def n_clusters(self) -> int:
         return self.chips // self.chips_per_cluster
+
+    @property
+    def dp(self) -> int:
+        """Data-parallel replicas per cluster (batch-rounding width)."""
+        return self.chips_per_cluster // (self.pp * self.tp)
 
 
 @dataclass
@@ -139,8 +161,11 @@ class JobRecord:
 def _step_seconds(kind: str, chips_per_cluster: int, topology: str,
                   chips_per_node: int, bucket_bytes: int | None,
                   overlap: bool, model: str, algorithm: str,
-                  batch: int) -> float:
+                  batch: int, pp: int = 1, tp: int = 1,
+                  fabric: str | None = None) -> float:
     """One sharded training step's latency, closed-form."""
+    from repro.arch.cluster import ParallelPlan
+    from repro.arch.interconnect import fabric_named
     from repro.core import build_cluster
     from repro.training import Algorithm, simulate_sharded_training_step
     from repro.workloads import build_model
@@ -149,10 +174,13 @@ def _step_seconds(kind: str, chips_per_cluster: int, topology: str,
         kind, n_chips=chips_per_cluster,
         interconnect=InterconnectConfig(
             topology=topology, bucket_bytes=bucket_bytes,
-            chips_per_node=chips_per_node))
+            chips_per_node=chips_per_node,
+            fabric=fabric_named(fabric) if fabric else None))
+    plan = ParallelPlan(dp=chips_per_cluster // (pp * tp), pp=pp, tp=tp) \
+        if pp * tp > 1 else None
     report = simulate_sharded_training_step(
         build_model(model), Algorithm(algorithm), cluster, batch,
-        overlap=overlap)
+        overlap=overlap, plan=plan)
     return report.total_seconds
 
 
@@ -168,21 +196,22 @@ def predict_step_seconds(
     memoized in-process (traces repeat configurations) and optionally
     persisted through the experiment runner's JSON cache.
     """
-    batch = math.ceil(job.batch / fleet.chips_per_cluster) \
-        * fleet.chips_per_cluster
+    batch = math.ceil(job.batch / fleet.dp) * fleet.dp
     key = {"experiment": "serve-step", "kind": fleet.kind,
            "chips_per_cluster": fleet.chips_per_cluster,
            "topology": fleet.topology,
            "chips_per_node": fleet.chips_per_node,
            "bucket_bytes": fleet.bucket_bytes,
            "overlap": fleet.overlap, "model": job.model,
-           "algorithm": job.algorithm, "batch": batch}
+           "algorithm": job.algorithm, "batch": batch,
+           "pp": fleet.pp, "tp": fleet.tp, "fabric": fleet.fabric}
     return float(runner.run_cached(
         key,
         lambda: _step_seconds(fleet.kind, fleet.chips_per_cluster,
                               fleet.topology, fleet.chips_per_node,
                               fleet.bucket_bytes, fleet.overlap,
-                              job.model, job.algorithm, batch),
+                              job.model, job.algorithm, batch,
+                              fleet.pp, fleet.tp, fleet.fabric),
         cache=cache))
 
 
@@ -374,7 +403,8 @@ def predict_step_seconds_batch(
             bucket_bytes=fleet.bucket_bytes,
             chips_per_node=(fleet.chips_per_node
                             if fleet.topology == "hierarchical" else 1),
-            overlaps=fleet.overlap, kinds=fleet.kind)
+            overlaps=fleet.overlap, kinds=fleet.kind,
+            pps=fleet.pp, tps=fleet.tp, fabrics=fleet.fabric)
         return [float(value) for value in result.total_seconds]
 
     seconds = runner.cached_batch(
@@ -386,7 +416,8 @@ def predict_step_seconds_batch(
             "chips_per_node": fleet.chips_per_node,
             "bucket_bytes": fleet.bucket_bytes,
             "overlap": fleet.overlap, "model": item[0],
-            "algorithm": item[1], "batch": int(item[2])})
+            "algorithm": item[1], "batch": int(item[2]),
+            "pp": fleet.pp, "tp": fleet.tp, "fabric": fleet.fabric})
     return np.array(seconds, dtype=float)
 
 
@@ -402,7 +433,7 @@ def _job_service_seconds(
     batched evaluation over the trace's unique configurations, then
     gathers ``granted_steps x step latency`` per job.
     """
-    width = fleet.chips_per_cluster
+    width = fleet.dp
     rounded = np.ceil(trace.batch / width).astype(np.int64) * width
     configs = np.stack([trace.model, trace.algorithm, rounded], axis=1)
     unique, inverse = np.unique(configs, axis=0, return_inverse=True)

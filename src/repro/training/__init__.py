@@ -19,7 +19,19 @@ from repro.training.batch import (
     sharded_step_batch,
     training_step_batch,
 )
-from repro.training.plan import bottleneck_gemms, phase_gemms
+from repro.training.parallel import (
+    PipelineSchedule,
+    build_pipeline_schedule,
+    partition_layers,
+    stage_memory_breakdown,
+)
+from repro.training.plan import (
+    PlacementResult,
+    PlanCandidate,
+    bottleneck_gemms,
+    phase_gemms,
+    plan_placement,
+)
 from repro.training.simulate import (
     ClusterTrainingReport,
     GemmOp,
@@ -59,4 +71,11 @@ __all__ = [
     "ShardedStepBatch",
     "training_step_batch",
     "sharded_step_batch",
+    "PipelineSchedule",
+    "build_pipeline_schedule",
+    "partition_layers",
+    "stage_memory_breakdown",
+    "PlanCandidate",
+    "PlacementResult",
+    "plan_placement",
 ]

@@ -17,7 +17,13 @@ in a few NumPy broadcast passes:
 * :func:`sharded_step_batch` adds the vectorized collective model of
   :mod:`repro.arch.batch` (bucketing, topology, overlap exposure) on
   top, reusing one shard evaluation for every grid point that shares a
-  ``(kind, model, algorithm, local batch)``.
+  ``(kind, model, algorithm, local batch, tp)``.  3D grid points
+  (``pp``/``tp`` columns > 1) reuse the batched per-op cycle arrays to
+  build the same :class:`~repro.training.parallel.PipelineSchedule`
+  the scalar driver builds — the schedule consumes only integers, so
+  it is bit-identical by construction — and their serial TP/PP
+  charges walk the shared link-polymorphic collective forms of
+  :mod:`repro.arch.interconnect` in the scalar operation order.
 
 Both are pinned cycle- and seconds-identical to the scalar drivers by
 the equivalence tests in ``tests/test_batch_step.py`` — every
@@ -45,8 +51,17 @@ from repro.arch.batch import (
     n_buckets_batch,
     topology_codes,
 )
+from repro.arch.cluster import ParallelPlan
+from repro.arch.interconnect import (
+    DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_LINK_LATENCY_S,
+    Fabric,
+    fabric_named,
+    pipeline_boundary_seconds,
+    tensor_collective_seconds,
+)
 from repro.training.algorithms import Algorithm
-from repro.training.phases import Phase
+from repro.training.phases import PHASE_ORDER, Phase
 from repro.training.simulate import (
     GRAD_BYTES,
     step_gemm_ops,
@@ -79,6 +94,10 @@ class StepBatch:
 
     phase_cycles: np.ndarray
     frequency_hz: np.ndarray
+    #: Per-spec schedule-ordered GEMM op cycles (only when collected):
+    #: ``op_cycles[u][j]`` is the charge of spec ``u``'s ``j``-th
+    #: :func:`~repro.training.simulate.step_gemm_ops` entry.
+    op_cycles: "dict[int, np.ndarray] | None" = None
 
     def __len__(self) -> int:
         return self.phase_cycles.shape[0]
@@ -95,21 +114,31 @@ class StepBatch:
         return self.phase_cycles[:, _PHASE_INDEX[phase]]
 
 
-#: One single-chip step specification for :func:`training_step_batch`.
+#: One single-chip step specification for :func:`training_step_batch`:
+#: ``(accelerator, network, algorithm, batch)`` plus an optional
+#: trailing tensor-parallel degree (defaults to 1).
 StepSpec = "tuple[Accelerator, Network, Algorithm, int]"
 
 
 def training_step_batch(
     specs: Sequence[tuple],
     profiler: "Profiler | None" = None,
+    *,
+    collect_ops: bool = False,
 ) -> StepBatch:
     """Price single-chip training steps, batching all GEMMs per engine.
 
     ``specs`` is a sequence of ``(accelerator, network, algorithm,
-    batch)`` tuples; accelerator objects may repeat (and sharing them
-    across specs lets the evaluator group their GEMMs into one
-    vectorized pass).  Returns per-phase cycle sums identical to
-    running :func:`simulate_training_step` per spec.
+    batch[, tp])`` tuples; accelerator objects may repeat (and sharing
+    them across specs lets the evaluator group their GEMMs into one
+    vectorized pass).  A trailing ``tp`` column-shards every GEMM and
+    parameter-proportional vector kernel across a tensor-parallel
+    group.  Returns per-phase cycle sums identical to running
+    :func:`simulate_training_step` per spec.
+
+    ``collect_ops=True`` additionally keeps each spec's per-op GEMM
+    cycle array (schedule order) — the input the pipeline-schedule
+    builder needs for 3D grid points.
 
     ``profiler`` (a :class:`repro.obs.profile.Profiler`) times the
     vector-kernel and batched-GEMM stages and counts specs / GEMM ops
@@ -119,17 +148,20 @@ def training_step_batch(
     matrix = np.zeros((len(specs), len(STEP_PHASES)), dtype=np.int64)
     frequency = np.array([accel.frequency_hz for accel, *_ in specs],
                          dtype=float)
+    op_store: "dict[int, np.ndarray] | None" = {} if collect_ops else None
     if profiler is not None:
         profiler.count("step_specs", len(specs))
 
     groups: dict[int, tuple[Accelerator, list[tuple]]] = {}
     with _stage(profiler, "step-batch/vector"):
-        for index, (accel, network, algorithm, batch) in enumerate(specs):
-            runs = step_vector_runs(network, algorithm, accel, batch)
+        for index, (accel, network, algorithm, batch,
+                    *rest) in enumerate(specs):
+            tp = rest[0] if rest else 1
+            runs = step_vector_runs(network, algorithm, accel, batch, tp=tp)
             for phase, run in runs.items():
                 matrix[index, _PHASE_INDEX[phase]] += run.cycles
             _, ops = groups.setdefault(id(accel), (accel, []))
-            for op in step_gemm_ops(network, algorithm, accel, batch):
+            for op in step_gemm_ops(network, algorithm, accel, batch, tp=tp):
                 ops.append((index, _PHASE_INDEX[op.phase],
                             op.gemm.m, op.gemm.k, op.gemm.n,
                             op.gemm.count,
@@ -174,10 +206,19 @@ def training_step_batch(
                 .astype(np.int64)
                 + accel.memory.config.access_latency_cycles,
                 0)
-            np.add.at(matrix, (spec_idx, phase_idx),
-                      np.maximum(compute, transfer))
+            cycles = np.maximum(compute, transfer)
+            np.add.at(matrix, (spec_idx, phase_idx), cycles)
+            if op_store is not None:
+                # spec_idx ascends within a group (ops append spec by
+                # spec), so each spec's ops are one contiguous run in
+                # schedule order.
+                uniq, starts, counts = np.unique(
+                    spec_idx, return_index=True, return_counts=True)
+                for u, s0, c in zip(uniq, starts, counts):
+                    op_store[int(u)] = cycles[s0:s0 + c]
 
-    return StepBatch(phase_cycles=matrix, frequency_hz=frequency)
+    return StepBatch(phase_cycles=matrix, frequency_hz=frequency,
+                     op_cycles=op_store)
 
 
 @dataclass(frozen=True)
@@ -188,6 +229,9 @@ class ShardedStepBatch:
     :class:`~repro.training.simulate.ClusterTrainingReport` (``comm``
     cycles are the exposed critical-path charge, ``comm_total`` the
     full wire time, their difference the overlap-hidden remainder).
+    For 3D grid points ``shard_cycles`` is the microbatched pipeline
+    makespan (``pipeline_cycles``) and ``bubble_cycles`` its fill/drain
+    idle share; pure-DP points carry a zero bubble.
     """
 
     n_chips: np.ndarray
@@ -197,13 +241,16 @@ class ShardedStepBatch:
     comm_cycles: np.ndarray
     comm_total_cycles: np.ndarray
     link_bytes: np.ndarray
+    #: Data-parallel replica count of each point (= n_chips / (pp*tp)).
+    dp: np.ndarray
+    bubble_cycles: np.ndarray
 
     def __len__(self) -> int:
         return self.n_chips.shape[0]
 
     @property
     def local_batch(self) -> np.ndarray:
-        return self.global_batch // self.n_chips
+        return self.global_batch // self.dp
 
     @property
     def total_cycles(self) -> np.ndarray:
@@ -245,6 +292,35 @@ def _broadcast_column(value, length: int, dtype=None) -> np.ndarray:
     return np.broadcast_to(array, (length,)).copy()
 
 
+def _fabric_links(fabrics, length: int,
+                  bandwidth: float, latency: float) -> tuple[np.ndarray, ...]:
+    """Resolve a fabric column into (cross_bw, cross_lat, intra_bw,
+    intra_lat) float arrays.
+
+    ``None`` entries resolve to the uniform fabric built from the
+    scalar bandwidth/latency pair — the same floats the scalar
+    :meth:`InterconnectConfig.links` resolution feeds, so the default
+    grid stays bitwise-identical to the single-link-class model.
+    """
+    if fabrics is None or isinstance(fabrics, (str, Fabric)):
+        fabrics = [fabrics] * length
+    fabrics = list(fabrics)
+    if len(fabrics) != length:
+        raise ValueError("grid columns must broadcast to one length")
+    columns = np.empty((4, length), dtype=float)
+    for i, fab in enumerate(fabrics):
+        if isinstance(fab, str):
+            fab = fabric_named(fab)
+        if fab is None:
+            columns[:, i] = (bandwidth, latency, bandwidth, latency)
+        else:
+            columns[:, i] = (fab.cross_node.bandwidth_bytes_per_s,
+                             fab.cross_node.latency_s,
+                             fab.intra_node.bandwidth_bytes_per_s,
+                             fab.intra_node.latency_s)
+    return columns[0], columns[1], columns[2], columns[3]
+
+
 def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) has no batched analogue; the batch engine self-profiles via `profiler`
     models: Sequence[str],
     algorithms,
@@ -256,21 +332,29 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
     chips_per_node=1,
     overlaps=True,
     kinds="diva",
+    pps=1,
+    tps=1,
+    fabrics=None,
     config=None,
-    link_bandwidth_bytes_per_s: float = 100e9,
-    link_latency_s: float = 1e-6,
+    link_bandwidth_bytes_per_s: float = DEFAULT_LINK_BANDWIDTH_BYTES_PER_S,
+    link_latency_s: float = DEFAULT_LINK_LATENCY_S,
     profiler: "Profiler | None" = None,
 ) -> ShardedStepBatch:
-    """Price data-parallel sharded training steps over a config grid.
+    """Price sharded (DP, or 3D DP x PP x TP) training steps over a grid.
 
     Every argument broadcasts against ``models`` (scalars apply to the
     whole grid); ``bucket_bytes`` uses ``None``/``0`` for one
     monolithic bucket and ``config`` is an optional shared
     :class:`~repro.core.config.DivaConfig` applied to every point.
+    ``pps`` / ``tps`` give each point's pipeline/tensor-parallel
+    degrees (data parallelism is the remaining ``chips / (pp*tp)``
+    factor) and ``fabrics`` names each point's link classes (``None``
+    = the uniform fabric from the scalar bandwidth/latency pair).
     Returns quantities identical to running
     :func:`simulate_sharded_training_step` per point — the shard is
     evaluated once per distinct ``(kind, model, algorithm, local
-    batch)`` and the collective model runs fully vectorized.
+    batch, tp)``, pipeline schedules once per distinct ``(shard,
+    pp)``, and the collective model runs fully vectorized.
     ``profiler`` forwards to :func:`training_step_batch` and counts
     grid points / unique shard evaluations.
     """
@@ -297,24 +381,44 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
         if not np.isscalar(bucket_bytes) else bucket_bytes,
         length, np.int64)
     overlap = _broadcast_column(overlaps, length, bool)
+    pp_col = _broadcast_column(pps, length, np.int64)
+    tp_col = _broadcast_column(tps, length, np.int64)
     if not (len(algorithm_names) == len(kind_names)
             == len(topology_names) == length):
         raise ValueError("grid columns must broadcast to one length")
+    cross_bw, cross_lat, intra_bw, intra_lat = _fabric_links(
+        fabrics, length, link_bandwidth_bytes_per_s, link_latency_s)
 
     topo = topology_codes(topology_names)
     if (global_batch <= 0).any():
         raise ValueError("global batches must be positive")
-    if (global_batch % n_chips).any():
-        bad = int(np.argmax(global_batch % n_chips != 0))
+    if (pp_col < 1).any() or (tp_col < 1).any():
+        raise ValueError("pp and tp degrees must be >= 1")
+    mp = pp_col * tp_col
+    if (n_chips % mp).any():
+        bad = int(np.argmax(n_chips % mp != 0))
+        raise ValueError(
+            f"{int(n_chips[bad])} chips do not factor into "
+            f"pp={int(pp_col[bad])} x tp={int(tp_col[bad])} stages")
+    dp = n_chips // mp
+    if (global_batch % dp).any():
+        bad = int(np.argmax(global_batch % dp != 0))
+        if int(mp[bad]) == 1:
+            raise ValueError(
+                f"global batch {int(global_batch[bad])} does not divide "
+                f"evenly across {int(n_chips[bad])} chips")
+        plan = ParallelPlan(dp=int(dp[bad]), pp=int(pp_col[bad]),
+                            tp=int(tp_col[bad]))
         raise ValueError(
             f"global batch {int(global_batch[bad])} does not divide "
-            f"evenly across {int(n_chips[bad])} chips")
+            f"evenly across {int(dp[bad])} data-parallel replicas of "
+            f"plan {plan}")
     hier = topo == topology_codes(["hierarchical"])[0]
-    lopsided = hier & (n_chips > 1) & (n_chips % np.maximum(cpn, 1) != 0)
+    lopsided = hier & (dp > 1) & (dp % np.maximum(cpn, 1) != 0)
     if lopsided.any():
         bad = int(np.argmax(lopsided))
         raise ValueError(
-            f"{int(n_chips[bad])} chips do not group into hierarchical "
+            f"{int(dp[bad])} chips do not group into hierarchical "
             f"nodes of {int(cpn[bad])}")
     # Flat topologies ignore chips_per_node in the scalar model only
     # because InterconnectConfig rejects it; mirror that contract.
@@ -323,7 +427,7 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
             "chips_per_node is only meaningful for the 'hierarchical' "
             "topology")
 
-    local_batch = global_batch // n_chips
+    local_batch = global_batch // dp
     networks: dict[str, Network] = {}
     accels: dict[str, Accelerator] = {}
     shard_keys: list[tuple] = []
@@ -331,7 +435,7 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
     key_to_index: dict[tuple, int] = {}
     for i in range(length):
         key = (kind_names[i], models[i], algorithm_names[i],
-               int(local_batch[i]))
+               int(local_batch[i]), int(tp_col[i]))
         index = key_to_index.get(key)
         if index is None:
             index = len(shard_keys)
@@ -340,18 +444,20 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
         shard_index[i] = index
 
     specs = []
-    for kind, model, algorithm, batch in shard_keys:
+    for kind, model, algorithm, batch, tp in shard_keys:
         accel = accels.get(kind)
         if accel is None:
             accel = accels[kind] = build_accelerator(kind, config=config)
         network = networks.get(model)
         if network is None:
             network = networks[model] = build_model(model)
-        specs.append((accel, network, Algorithm(algorithm), batch))
+        specs.append((accel, network, Algorithm(algorithm), batch, tp))
     if profiler is not None:
         profiler.count("grid_points", length)
         profiler.count("unique_shards", len(shard_keys))
-    step = training_step_batch(specs, profiler=profiler)
+    any_3d = bool((mp > 1).any())
+    step = training_step_batch(specs, profiler=profiler,
+                               collect_ops=any_3d)
 
     shard_cycles = step.total_cycles[shard_index]
     frequency = step.frequency_hz[shard_index]
@@ -367,10 +473,55 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
     overlappable = np.where(dpsgd, clip, batch_grad)
 
     grad_payload = params * GRAD_BYTES
+    # 3D points: replace the whole-replica quantities with the pipeline
+    # schedule's — built from the same batched integers the scalar
+    # driver prices, so every derived number matches it bit for bit.
+    tp_payload = np.zeros(length, dtype=np.int64)
+    tp_colls = np.zeros(length, dtype=np.int64)
+    boundary = np.zeros(length, dtype=np.int64)
+    cuts = np.zeros(length, dtype=np.int64)
+    microbatches = np.ones(length, dtype=np.int64)
+    bubble = np.zeros(length, dtype=np.int64)
+    if any_3d:
+        from repro.training.parallel import build_pipeline_schedule
+
+        assert step.op_cycles is not None
+        schedules: dict[tuple[int, int], Any] = {}
+        shard_cycles = shard_cycles.copy()
+        overlappable = overlappable.copy()
+        grad_payload = grad_payload.copy()
+        for i in np.flatnonzero(mp > 1):
+            u = int(shard_index[i])
+            sched_key = (u, int(pp_col[i]))
+            sched = schedules.get(sched_key)
+            if sched is None:
+                kind, model, algorithm, batch, tp = shard_keys[u]
+                accel = accels[kind]
+                network = networks[model]
+                ops = step_gemm_ops(
+                    network, Algorithm(algorithm), accel, batch, tp=tp)
+                sched = build_pipeline_schedule(
+                    network, Algorithm(algorithm), ops,
+                    [int(c) for c in step.op_cycles.get(u, ())],
+                    {p: int(step.phase_cycles[u, _PHASE_INDEX[p]])
+                     for p in PHASE_ORDER},
+                    batch,
+                    ParallelPlan(dp=int(dp[i]), pp=int(pp_col[i]), tp=tp))
+                schedules[sched_key] = sched
+            shard_cycles[i] = sched.pipeline_cycles
+            bubble[i] = sched.bubble_cycles
+            overlappable[i] = sched.overlappable_cycles
+            grad_payload[i] = sched.dp_payload_bytes
+            tp_payload[i] = sched.tp_payload_bytes
+            tp_colls[i] = sched.tp_collectives
+            boundary[i] = sched.boundary_micro_bytes
+            cuts[i] = sched.cuts
+            microbatches[i] = sched.microbatches
+
     norm_payload = global_batch * GRAD_BYTES
-    comm_args = (n_chips, topo, bucket, cpn)
-    kwargs = {"bandwidth": link_bandwidth_bytes_per_s,
-              "latency": link_latency_s}
+    comm_args = (dp, topo, bucket, cpn)
+    kwargs = {"bandwidth": cross_bw, "latency": cross_lat,
+              "intra_bandwidth": intra_bw, "intra_latency": intra_lat}
     grad_s = allreduce_seconds_batch(grad_payload, *comm_args, **kwargs)
     norm_s = allreduce_seconds_batch(norm_payload, *comm_args, **kwargs)
     total_s = grad_s + np.where(private, norm_s, 0.0)
@@ -385,12 +536,35 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
     exposed_grad_s = np.maximum(
         first_bucket_seconds_batch(grad_payload, *comm_args, **kwargs),
         grad_s - window_s)
-    exposed_s = np.where(overlap & (n_chips > 1),
+    exposed_s = np.where(overlap & (dp > 1),
                          exposed_grad_s + (total_s - grad_s), total_s)
 
-    comm_total_cycles = np.ceil(total_s * frequency).astype(np.int64)
+    # Serial model-parallel charges: TP allgathers gate their GEMMs and
+    # the pipeline boundary fill/drain is exposed by construction.
+    # Same link-polymorphic forms (and operand order) as the scalar
+    # Interconnect methods; masked entries contribute exact zero, so
+    # pure-DP points keep their legacy floats bit for bit.
+    tp_mask = (tp_col > 1) & (tp_payload > 0)
+    pp_mask = (cuts > 0) & (boundary > 0)
+    serial_s = (
+        np.where(tp_mask, tensor_collective_seconds(
+            tp_payload, tp_colls, tp_col, intra_bw, intra_lat), 0.0)
+        + np.where(pp_mask, pipeline_boundary_seconds(
+            boundary, cuts, cross_bw, cross_lat), 0.0))
+    tp_shard = -(-(-(-tp_payload // np.maximum(tp_colls, 1)))
+                 // np.maximum(tp_col, 1))
+    wire = wire + np.where(tp_mask & (tp_colls > 0),
+                           tp_colls * (tp_col - 1) * tp_shard, 0)
+    per_cut = -(-boundary // np.maximum(cuts, 1))
+    touched = np.where(pp_col > 2, 2, 1)
+    wire = wire + np.where(pp_mask & (pp_col > 1),
+                           2 * microbatches * touched * per_cut, 0)
+
+    comm_total_cycles = np.ceil(
+        (total_s + serial_s) * frequency).astype(np.int64)
     comm_cycles = np.minimum(
-        np.ceil(exposed_s * frequency).astype(np.int64), comm_total_cycles)
+        np.ceil((exposed_s + serial_s) * frequency).astype(np.int64),
+        comm_total_cycles)
 
     return ShardedStepBatch(
         n_chips=n_chips,
@@ -400,4 +574,6 @@ def sharded_step_batch(  # repro-lint: ignore[R003] per-step tracing (recorder) 
         comm_cycles=comm_cycles,
         comm_total_cycles=comm_total_cycles,
         link_bytes=wire,
+        dp=dp,
+        bubble_cycles=bubble,
     )

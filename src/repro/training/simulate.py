@@ -52,12 +52,12 @@ Modeling notes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import TYPE_CHECKING
 
 from repro.arch.accelerator import Accelerator, OpRun
-from repro.arch.cluster import Cluster
+from repro.arch.cluster import Cluster, ParallelPlan
 from repro.training.algorithms import Algorithm
 from repro.training.phases import CLUSTER_PHASE_ORDER, PHASE_ORDER, Phase
 from repro.training.plan import phase_gemms
@@ -153,6 +153,15 @@ class ClusterTrainingReport:
     behind backward compute lands in ``comm.hidden_cycles`` instead.
     Serial execution (``overlap=False``, or a single monolithic bucket)
     exposes everything and ``hidden_cycles`` is zero.
+
+    A 3D :class:`~repro.arch.cluster.ParallelPlan` (``pp > 1`` or
+    ``tp > 1``) additionally records the pipeline schedule:
+    ``pipeline_cycles`` is the microbatched makespan of the bottleneck
+    replica (it replaces ``shard.total.cycles`` in the critical path),
+    ``bubble_cycles`` the fill/drain idle time inside it, and
+    ``stage_cycles`` / ``stage_bounds`` the per-stage split of the
+    shard's work.  Pure-DP reports keep the zero defaults and are
+    structurally identical to the pre-3D model.
     """
 
     cluster: str
@@ -162,10 +171,18 @@ class ClusterTrainingReport:
     shard: TrainingReport
     comm: OpRun
     overlap: bool = True
+    plan: "ParallelPlan | None" = None
+    pipeline_cycles: int = 0
+    bubble_cycles: int = 0
+    microbatches: int = 1
+    stage_cycles: "tuple[int, ...]" = ()
+    stage_bounds: "tuple[int, ...]" = ()
 
     @property
     def local_batch(self) -> int:
-        """Per-chip shard size."""
+        """Per-replica shard size (``global_batch / dp``)."""
+        if self.plan is not None:
+            return self.global_batch // self.plan.dp
         return self.global_batch // self.n_chips
 
     @property
@@ -181,7 +198,15 @@ class ClusterTrainingReport:
 
     @cached_property
     def total(self) -> OpRun:
-        """Critical-path aggregate of one chip (local phases + comm)."""
+        """Critical-path aggregate of one chip (local phases + comm).
+
+        With a pipelined plan the compute portion is the microbatched
+        makespan — the shard's work counters (MACs, DRAM traffic) are
+        kept, only its latency is replaced.
+        """
+        if self.pipeline_cycles:
+            return replace(self.shard.total,
+                           cycles=self.pipeline_cycles) + self.comm
         return self.shard.total + self.comm
 
     @property
@@ -194,7 +219,9 @@ class ClusterTrainingReport:
 
     @property
     def compute_seconds(self) -> float:
-        """Local (per-shard) portion of the step."""
+        """Local (per-shard / pipelined) portion of the step."""
+        if self.pipeline_cycles:
+            return self.pipeline_cycles / self.frequency_hz
         return self.shard.total_seconds
 
     @property
@@ -289,11 +316,22 @@ class GemmOp:
     fuse_norm: bool = False
 
 
+def _tp_shard_gemm(gemm: Gemm, tp: int) -> Gemm:
+    """Megatron-style column shard: the output dimension splits ``tp`` ways.
+
+    ``ceil`` keeps ragged shards conservative (every rank runs the
+    widest shard); ``tp=1`` callers skip this entirely so the pure-DP
+    schedule is the untouched original.
+    """
+    return replace(gemm, n=-(-gemm.n // tp))
+
+
 def step_gemm_ops(
     network: Network,
     algorithm: Algorithm,
     accelerator: Accelerator,
     batch: int,
+    tp: int = 1,
 ) -> list[GemmOp]:
     """The GEMM operations of one training step, in schedule order.
 
@@ -303,8 +341,16 @@ def step_gemm_ops(
     (``write_output``), and norm derivation fuses into the drain when
     the design has a matched PPU (``fuse_norm``) — see
     :func:`simulate_training_step` for the modeling rationale.
+
+    ``tp > 1`` prices one tensor-parallel rank: every GEMM's output
+    dimension is column-sharded ``tp`` ways (the activation allgathers
+    stitching shards back together are charged by the cluster's
+    communication phase, not here).
     """
     plan = phase_gemms(network, algorithm, batch)
+    if tp > 1:
+        plan = {phase: [_tp_shard_gemm(g, tp) for g in gemms]
+                for phase, gemms in plan.items()}
     ops = [GemmOp(Phase.FWD, g) for g in plan[Phase.FWD]]
     ops += [GemmOp(Phase.BWD_ACT_1, g) for g in plan[Phase.BWD_ACT_1]]
     if algorithm.is_private:
@@ -333,6 +379,7 @@ def step_vector_runs(
     algorithm: Algorithm,
     accelerator: Accelerator,
     batch: int,
+    tp: int = 1,
 ) -> dict[Phase, OpRun]:
     """Non-GEMM (vector / element-wise) work of one step, per phase.
 
@@ -341,11 +388,21 @@ def step_vector_runs(
     carry a zero :class:`OpRun` so the mapping's key set is exactly the
     step's phase set.  Adding each phase's :func:`step_gemm_ops` GEMMs
     on top reconstitutes the full report (OpRun addition commutes).
+
+    ``tp > 1`` prices one tensor-parallel rank: parameter-proportional
+    kernels (per-example gradients, norms, clip, reduce/noise/update)
+    operate on the rank's ``ceil(params / tp)`` shard, while
+    activation-proportional element-wise work stays replicated (every
+    rank holds the full, allgathered activations).
     """
     fuse = accelerator.can_fuse_norm
     gemm_params = network.gemm_params
     vector_params = network.vector_grad_params
     all_params = network.params
+    if tp > 1:
+        gemm_params = -(-gemm_params // tp)
+        vector_params = -(-vector_params // tp)
+        all_params = -(-all_params // tp)
     act_elems = _vector_path_elems(network, batch)
     phases: dict[Phase, OpRun] = {}
 
@@ -435,6 +492,7 @@ def _simulate_chip_step(
     accelerator: Accelerator,
     batch: int,
     collect_ops: bool,
+    tp: int = 1,
 ) -> "tuple[TrainingReport, list[tuple[GemmOp, OpRun]] | None]":
     """Execute one single-chip step; optionally keep per-GEMM records.
 
@@ -444,8 +502,8 @@ def _simulate_chip_step(
     """
     op_log: list[tuple[GemmOp, OpRun]] | None = \
         [] if collect_ops else None
-    phases = step_vector_runs(network, algorithm, accelerator, batch)
-    for op in step_gemm_ops(network, algorithm, accelerator, batch):
+    phases = step_vector_runs(network, algorithm, accelerator, batch, tp)
+    for op in step_gemm_ops(network, algorithm, accelerator, batch, tp):
         run = accelerator.run_gemm(
             op.gemm, write_output=op.write_output, fuse_norm=op.fuse_norm)
         phases[op.phase] = phases[op.phase] + run
@@ -470,6 +528,7 @@ def simulate_training_step(
     accelerator: "Accelerator | Cluster",
     batch: int,
     *,
+    plan: "ParallelPlan | None" = None,
     overlap: bool = True,
     recorder: "TraceRecorder | None" = None,
 ) -> "TrainingReport | ClusterTrainingReport":
@@ -477,8 +536,9 @@ def simulate_training_step(
 
     Passing a :class:`~repro.arch.cluster.Cluster` dispatches to
     :func:`simulate_sharded_training_step` with ``batch`` as the global
-    mini-batch, returning a :class:`ClusterTrainingReport`; ``overlap``
-    only matters on that path (single-chip steps have no collectives).
+    mini-batch, returning a :class:`ClusterTrainingReport`; ``plan``
+    and ``overlap`` only matter on that path (single-chip steps have no
+    collectives).
 
     The step decomposes into :func:`step_gemm_ops` (the GEMM schedule)
     plus :func:`step_vector_runs` (everything the vector unit does);
@@ -492,8 +552,11 @@ def simulate_training_step(
     """
     if isinstance(accelerator, Cluster):
         return simulate_sharded_training_step(
-            network, algorithm, accelerator, batch, overlap=overlap,
-            recorder=recorder)
+            network, algorithm, accelerator, batch, plan=plan,
+            overlap=overlap, recorder=recorder)
+    if plan is not None and plan.n_chips != 1:
+        raise ValueError(
+            f"plan {plan} needs a Cluster, not a single accelerator")
     report, op_log = _simulate_chip_step(
         network, algorithm, accelerator, batch, recorder is not None)
     if recorder is not None:
@@ -548,14 +611,25 @@ def simulate_sharded_training_step(
     cluster: Cluster,
     global_batch: int,
     *,
+    plan: "ParallelPlan | None" = None,
     overlap: bool = True,
     recorder: "TraceRecorder | None" = None,
 ) -> ClusterTrainingReport:
-    """Simulate one data-parallel training step sharded across a cluster.
+    """Simulate one (possibly 3D-)parallel training step on a cluster.
 
-    The global mini-batch must divide evenly by the chip count.  Each
-    chip runs the full single-chip phase sequence on its
-    ``global_batch / N`` shard (the per-batch reduce/noise/update tail
+    ``plan=None`` (default) is pure data parallelism over all ``N``
+    chips; any explicit :class:`~repro.arch.cluster.ParallelPlan` with
+    ``pp == tp == 1`` routes through the identical code path, so both
+    spellings are bitwise-equal.  Plans with ``pp > 1`` or ``tp > 1``
+    take the 3D path: the declarative schedule splits into pipeline
+    stages (GPipe-style microbatching with closed-form bubble
+    accounting) and tensor-parallel GEMM shards whose activation
+    allgathers ride the fabric's intra-node link — see
+    :mod:`repro.training.parallel`.
+
+    The global mini-batch must divide evenly by the data-parallel
+    degree.  Each replica runs the full phase sequence on its
+    ``global_batch / dp`` shard (the per-batch reduce/noise/update tail
     is replicated, so it appears once — all chips execute it in
     lock-step on identical data).  The communication phase charges one
     allreduce per payload of :func:`allreduce_payload_bytes`; fractional
@@ -580,6 +654,12 @@ def simulate_sharded_training_step(
     async ``hidden`` slice (see :mod:`repro.obs.trace`).
     """
     n = cluster.n_chips
+    if plan is not None:
+        plan.validate(n)
+        if not plan.is_pure_dp:
+            return _simulate_3d_step(
+                network, algorithm, cluster, global_batch, plan,
+                overlap=overlap, recorder=recorder)
     if global_batch <= 0:
         raise ValueError(f"global batch must be positive, got {global_batch}")
     if global_batch % n:
@@ -620,11 +700,109 @@ def simulate_sharded_training_step(
         shard=shard,
         comm=comm,
         overlap=overlap,
+        plan=plan,
     )
     if recorder is not None:
         from repro.obs.trace import add_cluster_step_spans
 
         assert op_log is not None
+        add_cluster_step_spans(recorder, report, op_log)
+    return report
+
+
+def _simulate_3d_step(
+    network: Network,
+    algorithm: Algorithm,
+    cluster: Cluster,
+    global_batch: int,
+    plan: ParallelPlan,
+    *,
+    overlap: bool = True,
+    recorder: "TraceRecorder | None" = None,
+) -> ClusterTrainingReport:
+    """One 3D-parallel (DP x PP x TP) training step.
+
+    The replica's whole-step schedule is simulated once per TP rank
+    (``_simulate_chip_step`` with ``tp``-sharded GEMMs), then split
+    into pipeline stages by :func:`repro.training.parallel.
+    build_pipeline_schedule`; the communication phase layers the
+    data-parallel allreduces (with the existing overlap/bucketing
+    model, the window now being the bottleneck stage's share of the
+    gradient-producing phase) on top of the serial tensor-parallel
+    allgather and pipeline fill/drain charges.
+    """
+    from repro.training.parallel import build_pipeline_schedule
+
+    dp = plan.dp
+    if global_batch <= 0:
+        raise ValueError(f"global batch must be positive, got {global_batch}")
+    if global_batch % dp:
+        raise ValueError(
+            f"global batch {global_batch} does not divide evenly across "
+            f"{dp} data-parallel replicas of plan {plan}")
+    local_batch = global_batch // dp
+    shard, op_log = _simulate_chip_step(
+        network, algorithm, cluster.chip, local_batch, True, tp=plan.tp)
+    assert op_log is not None
+    sched = build_pipeline_schedule(
+        network, algorithm, [op for op, _ in op_log],
+        [run.cycles for _, run in op_log],
+        {phase: run.cycles for phase, run in shard.phases.items()},
+        local_batch, plan)
+
+    ic = cluster.interconnect
+    payloads = [sched.dp_payload_bytes]
+    if algorithm.is_private:
+        payloads.append(global_batch * GRAD_BYTES)
+    total_s = sum(ic.allreduce_seconds(p, dp) for p in payloads)
+    wire_bytes = sum(ic.link_bytes_per_chip(p, dp) for p in payloads)
+    exposed_s = total_s
+    if overlap and dp > 1:
+        grad_payload = payloads[0]
+        grad_s = ic.allreduce_seconds(grad_payload, dp)
+        buckets = ic.n_buckets(grad_payload)
+        window_s = (sched.overlappable_cycles
+                    / cluster.frequency_hz) * (buckets - 1) / buckets
+        exposed_grad_s = max(
+            ic.first_bucket_seconds(grad_payload, dp),
+            grad_s - window_s)
+        exposed_s = exposed_grad_s + (total_s - grad_s)
+    # TP allgathers serialize with compute (each GEMM waits on its
+    # gathered input); the pipeline boundary charge is the fill/drain
+    # exposure.  Both land on the critical path unconditionally.
+    serial_s = (
+        ic.tp_collective_seconds(
+            sched.tp_payload_bytes, sched.tp_collectives, plan.tp)
+        + ic.pp_boundary_seconds(sched.boundary_micro_bytes, sched.cuts))
+    wire_bytes += ic.tp_link_bytes_per_chip(
+        sched.tp_payload_bytes, sched.tp_collectives, plan.tp)
+    wire_bytes += ic.pp_link_bytes_per_chip(
+        sched.boundary_micro_bytes, sched.cuts, sched.microbatches, plan.pp)
+    total_cycles = cluster.cycles(total_s + serial_s)
+    exposed_cycles = min(cluster.cycles(exposed_s + serial_s), total_cycles)
+    comm = OpRun(
+        cycles=exposed_cycles,
+        hidden_cycles=total_cycles - exposed_cycles,
+        link_bytes=wire_bytes,
+    )
+    report = ClusterTrainingReport(
+        cluster=cluster.name,
+        n_chips=cluster.n_chips,
+        topology=cluster.topology,
+        global_batch=global_batch,
+        shard=shard,
+        comm=comm,
+        overlap=overlap,
+        plan=plan,
+        pipeline_cycles=sched.pipeline_cycles,
+        bubble_cycles=sched.bubble_cycles,
+        microbatches=sched.microbatches,
+        stage_cycles=sched.stage_cycles,
+        stage_bounds=sched.stage_bounds,
+    )
+    if recorder is not None:
+        from repro.obs.trace import add_cluster_step_spans
+
         add_cluster_step_spans(recorder, report, op_log)
     return report
 

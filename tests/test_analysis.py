@@ -358,6 +358,52 @@ def test_walltime_allowlists_obs_and_run_all():
 
 
 # ---------------------------------------------------------------------------
+# R007: link-rate homing
+# ---------------------------------------------------------------------------
+
+def test_bandwidth_flags_literal_rates(tmp_path):
+    findings = lint_source(tmp_path, """
+        def price(payload_bytes, bandwidth=100e9, latency=1e-6):
+            return payload_bytes / bandwidth + latency
+
+        cross_bandwidth = 25e9
+        total = price(10, bandwidth=2 * 2**30)
+    """, select={"R007"})
+    assert rule_ids(findings) == ["R007"]
+    assert len(findings) == 4
+    assert any("'cross_bandwidth'" in f.message for f in findings)
+
+
+def test_bandwidth_allows_named_constants_and_memory_rates(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.arch.interconnect import DEFAULT_LINK_BANDWIDTH_BYTES_PER_S
+
+        dram_bandwidth_bytes_per_s = 900e9
+        sram_latency_s = 1e-9
+
+        def price(payload_bytes,
+                  bandwidth=DEFAULT_LINK_BANDWIDTH_BYTES_PER_S):
+            return payload_bytes / bandwidth
+    """, select={"R007"})
+    assert findings == []
+
+
+def test_bandwidth_allowlists_interconnect_home():
+    """The sanctioned homes hold literal rates without findings."""
+    from repro.analysis.bandwidth import BandwidthHomingRule
+
+    project = Project.load(REPO_ROOT, [
+        REPO_ROOT / "src" / "repro" / "arch" / "interconnect.py",
+        REPO_ROOT / "src" / "repro" / "arch" / "memory.py",
+        REPO_ROOT / "src" / "repro" / "arch" / "gpu.py"])
+    assert run_rules(project, [BandwidthHomingRule()]) == []
+    # Sanity: the fabric presets really are literal link rates, so the
+    # empty result above is the allowlist at work, not a no-op scan.
+    source = (REPO_ROOT / "src" / "repro" / "arch" / "interconnect.py")
+    assert "300e9" in source.read_text()
+
+
+# ---------------------------------------------------------------------------
 # framework: pragmas, baseline, CLI, registry
 # ---------------------------------------------------------------------------
 
@@ -390,9 +436,9 @@ def test_baseline_split(tmp_path):
     assert stale == ["bogus::R9::x"]
 
 
-def test_registry_has_six_rules():
+def test_registry_has_seven_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
     assert all(rule.title for rule in all_rules())
 
 

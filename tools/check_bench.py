@@ -28,6 +28,10 @@ ROOT = Path(__file__).resolve().parent.parent
 #: Conservative floors — see module docstring for the calibration idea.
 GEMM_OPS_PER_SEC_FLOOR = 2_000.0
 SCALING_POINTS_PER_SEC_FLOOR = 2.0
+#: The batched 3D grid pays one pipeline-schedule build per distinct
+#: (shard, pp) — far fewer than its point count, so a modest per-point
+#: floor still catches a fallback to per-point scheduling.
+GRID3D_POINTS_PER_SEC_FLOOR = 10.0
 BATCHED_VS_POOL_SPEEDUP_FLOOR = 5.0
 #: Small traces are dominated by fixed setup (service table, RDP
 #: curves), so they get a lower floor than the million-job point where
@@ -73,6 +77,13 @@ def check_scaling(failures: list[str]) -> None:
         failures.append(
             f"scaling smoke sweep: {rate:.1f} points/s "
             f"< floor {SCALING_POINTS_PER_SEC_FLOOR:.0f}/s")
+    grid3d = record.get("grid3d")
+    if grid3d is not None:
+        rate = grid3d.get("points_per_sec", 0.0)
+        if rate < GRID3D_POINTS_PER_SEC_FLOOR:
+            failures.append(
+                f"3D-grid sweep: {rate:.1f} points/s "
+                f"< floor {GRID3D_POINTS_PER_SEC_FLOOR:.0f}/s")
     for name, section in record.get("batched_vs_pool", {}).items():
         speedup = section.get("speedup", 0.0)
         if speedup < BATCHED_VS_POOL_SPEEDUP_FLOOR:
