@@ -24,6 +24,8 @@ from repro.obs import FleetObs, MetricsRegistry, TraceRecorder
 from repro.serve import (
     AdmissionController,
     AutoscalerPolicy,
+    FaultConfig,
+    FaultModel,
     FleetConfig,
     TenantBudget,
     TraceConfig,
@@ -147,6 +149,48 @@ def test_streaming_serve_throughput(capsys):
         "peak_rss_mb": _peak_rss_mb(),
     })
 
+    # Fault injection: replay the 1M static trace with the failure
+    # machinery attached — once with an MTBF no trace can reach (every
+    # attempt stays clean, pricing the pure fault-bookkeeping overhead
+    # against ``plain_wall``) and once under real fire (crashes,
+    # checkpoint restarts, backed-off retries).  ``tools/check_bench.py``
+    # floors the faulty jobs/s and caps the zero-failure overhead
+    # ratio, so neither the faulty event loop nor the clean-run tax
+    # can silently regress.
+    fault_walls = {}
+    fault_report = None
+    for tag, mtbf_hours in (("zero_failure", 1e9), ("faulty", 2.0)):
+        faults = FaultModel(FaultConfig(
+            mtbf_hours=mtbf_hours, repair_hours=0.05,
+            degrade_fraction=0.5, seed=11))
+        admission = AdmissionController(admission_budget)
+        decisions = admission.admit_batch(trace)
+        start = time.perf_counter()
+        report = simulate_fleet_streaming(
+            trace, fleet, policy="fifo",
+            admission=admission, decisions=decisions, faults=faults)
+        fault_walls[tag] = time.perf_counter() - start
+        assert report.completed + report.failed + report.rejected == jobs
+        if tag == "faulty":
+            fault_report = report
+            assert report.retries > 0
+        else:
+            assert report.failed == 0 and report.retries == 0
+    fault_overhead = fault_walls["zero_failure"] / plain_wall
+    points.append({
+        "jobs": jobs,
+        "autoscale": False,
+        "faults": True,
+        "wall_seconds": fault_walls["faulty"],
+        "jobs_per_sec": jobs / fault_walls["faulty"],
+        "zero_failure_wall_seconds": fault_walls["zero_failure"],
+        "fault_overhead_ratio": fault_overhead,
+        "failed": fault_report.failed,
+        "retries": fault_report.retries,
+        "goodput": fault_report.goodput,
+        "peak_rss_mb": _peak_rss_mb(),
+    })
+
     payload = {
         "benchmark": "serve_streaming",
         "chips": 16,
@@ -160,6 +204,8 @@ def test_streaming_serve_throughput(capsys):
             tag = " autoscaled" if point["autoscale"] else ""
             if point.get("instrumented"):
                 tag += " instrumented"
+            if point.get("faults"):
+                tag += " faulty"
             print(f"\nserve streaming — {point['jobs']:,}{tag} jobs in "
                   f"{point['wall_seconds']:.2f}s "
                   f"({point['jobs_per_sec']:,.0f} jobs/s, peak RSS "
@@ -167,6 +213,10 @@ def test_streaming_serve_throughput(capsys):
         print(f"serve streaming — observability in-loop overhead "
               f"{overhead:.3f}x, export {export_wall:.1f}s for "
               f"{len(obs.recorder.events):,} events")
+        print(f"serve streaming — fault machinery zero-failure "
+              f"overhead {fault_overhead:.3f}x, "
+              f"{fault_report.retries:,} retries under fire")
     # Loose in-test floors; the CI guard applies the real thresholds.
     assert points[-1]["jobs_per_sec"] > 1_000
     assert overhead < 2.0
+    assert fault_overhead < 5.0

@@ -192,6 +192,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_shape=args.trace_shape,
             mean_interarrival_s=args.mean_interarrival,
             autoscale=autoscale,
+            mtbf_hours=args.mtbf_hours,
+            checkpoint_interval=args.checkpoint_interval,
+            max_retries=args.max_retries,
+            straggler_rate=args.straggler_rate,
             cache=cache,
             trace_path=args.trace,
             metrics_dir=args.metrics_out,
@@ -468,6 +472,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="also scale up when the streaming p99 "
                             "queueing wait exceeds this many seconds "
                             "(default: queue-depth trigger only)")
+    serve.add_argument("--mtbf-hours", type=float, default=None,
+                       metavar="H",
+                       help="inject seeded chip failures with this "
+                            "per-chip mean time between failures; "
+                            "crashed jobs restart from their last "
+                            "checkpoint (default: no faults)")
+    serve.add_argument("--checkpoint-interval", type=int, default=None,
+                       metavar="STEPS",
+                       help="checkpoint every N steps while faults are "
+                            "on (default: Young/Daly optimum per "
+                            "model)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       metavar="N",
+                       help="re-admissions per crashed job before it "
+                            "counts as failed (default: 3)")
+    serve.add_argument("--straggler-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="fraction of attempts slowed by a "
+                            "transient straggler while faults are on "
+                            "(default: 0.0)")
     serve.add_argument("--cache-dir", default=None,
                        help="persist per-config step latencies as "
                             "JSON under this directory")

@@ -13,6 +13,7 @@ R004      determinism (seeded RNG only)              :mod:`.determinism`
 R005      oracle-guard (scalar fallback reachable)   :mod:`.oracle`
 R006      wall-clock isolation (repro.obs only)      :mod:`.walltime`
 R007      link-rate homing (arch.interconnect only)  :mod:`.bandwidth`
+R008      fault-path RNG isolation (keyed draws)     :mod:`.faultrng`
 ========  =========================================  ==================
 
 Run it through ``tools/repro_lint.py`` (the ``lint`` CI job does);
@@ -27,7 +28,8 @@ from repro.analysis.core import (
 
 # Importing the rule modules populates the registry.
 from repro.analysis import (  # noqa: F401  (imported for side effects)
-    bandwidth, cachekeys, determinism, drift, oracle, units, walltime,
+    bandwidth, cachekeys, determinism, drift, faultrng, oracle, units,
+    walltime,
 )
 
 __all__ = [

@@ -71,6 +71,10 @@ def run(
     trace_shape: str = "poisson",
     mean_interarrival_s: float = 8.0,
     autoscale: "AutoscalerPolicy | None" = None,
+    mtbf_hours: float | None = None,
+    checkpoint_interval: int | None = None,
+    max_retries: int = 3,
+    straggler_rate: float = 0.0,
     cache: "runner.ResultCache | None" = None,
     trace_path: str | None = None,
     metrics_dir: str | None = None,
@@ -103,6 +107,16 @@ def run(
     ``pp`` / ``tp`` / ``fabric`` shape each cluster's 3D parallel plan
     (see :class:`repro.serve.FleetConfig`): jobs data-parallelize
     across the remaining ``dp`` factor of every cluster.
+
+    ``mtbf_hours`` turns on fault injection (see
+    :mod:`repro.serve.faults` and ``docs/reliability.md``): each
+    dispatched attempt draws a seeded time-to-failure, crashed jobs
+    resume from their last checkpoint (``checkpoint_interval`` steps,
+    or the Young/Daly optimum when ``None``) with up to
+    ``max_retries`` backed-off retries, and ``straggler_rate`` slows
+    a seeded fraction of attempts.  ``None`` (default) is the exact
+    fault-free code path — reports are byte-identical to a build
+    without the faults module.
 
     Observability is opt-in and changes nothing when off:
     ``trace_path`` writes one Chrome-trace JSON file covering every
@@ -171,6 +185,15 @@ def run(
                         topology=topology, chips_per_node=chips_per_node,
                         bucket_bytes=bucket_bytes, overlap=overlap,
                         pp=pp, tp=tp, fabric=fabric)
+    faults = None
+    if mtbf_hours is not None:
+        from repro.serve import FaultConfig, FaultModel
+        from repro.training import CheckpointConfig
+        faults = FaultModel(FaultConfig(
+            mtbf_hours=mtbf_hours, straggler_rate=straggler_rate,
+            max_retries=max_retries,
+            checkpoint=CheckpointConfig(interval_steps=checkpoint_interval),
+            seed=seed))
     if profiler is not None:
         profiler.count("trace_jobs", trace_jobs)
         profiler.count("policies", len(policies))
@@ -183,12 +206,20 @@ def run(
         with _stage(profiler, "serve/admission"):
             decisions = admission.admit_batch(trace)
         for policy in policies:
+            if faults is not None:
+                # Retries re-price the ledger during the run, so the
+                # faulty path cannot share one admission pass: each
+                # policy replays against a fresh controller.
+                admission = AdmissionController(
+                    TenantBudget(epsilon=epsilon_budget, delta=delta))
+                with _stage(profiler, "serve/admission"):
+                    decisions = admission.admit_batch(trace)
             obs = _observe(policy)
             with _stage(profiler, "serve/simulate"):
                 report = simulate_fleet_streaming(
                     trace, fleet, policy=policy, admission=admission,
                     decisions=decisions, autoscaler=autoscale,
-                    cache=cache, obs=obs)
+                    faults=faults, cache=cache, obs=obs)
             _export(obs)
             rows.append(report.to_dict())
         _write_outputs()
@@ -202,7 +233,7 @@ def run(
         with _stage(profiler, "serve/simulate"):
             report = simulate_fleet(trace, fleet, policy=policy,
                                     admission=admission,
-                                    autoscaler=autoscale,
+                                    autoscaler=autoscale, faults=faults,
                                     cache=cache, obs=obs)
         _export(obs)
         rows.append(report.to_dict())
@@ -216,6 +247,7 @@ def render(rows: list[dict] | None = None) -> str:
 
     rows = rows if rows is not None else run()
     autoscaled = any(row.get("scale_events") for row in rows)
+    faulty = any("faults" in row for row in rows)
     table = [
         [row["policy"], row["submitted"], row["completed"],
          row["truncated"], row["rejected"], row["wait_p50_s"],
@@ -223,12 +255,18 @@ def render(rows: list[dict] | None = None) -> str:
          100.0 * row["utilization"], row["throughput_jobs_per_h"]]
         + ([row["peak_clusters"], len(row["scale_events"]),
             row["chip_hours"], row["cost"]] if autoscaled else [])
+        + ([row["faults"]["failed"], row["faults"]["retries"],
+            row["faults"]["degradations"],
+            100.0 * row["faults"]["goodput"]]
+           if faulty and "faults" in row else
+           ([0, 0, 0, 100.0 * row["utilization"]] if faulty else []))
         for row in rows
     ]
     policy_table = format_table(
         ["Policy", "Jobs", "Done", "Trunc", "Rej", "p50 wait s",
          "p95 wait s", "p99 wait s", "Util %", "Jobs/h"]
-        + (["Peak", "Scales", "Chip-h", "Cost"] if autoscaled else []),
+        + (["Peak", "Scales", "Chip-h", "Cost"] if autoscaled else [])
+        + (["Fail", "Retry", "Degr", "Goodput %"] if faulty else []),
         table,
         title=(f"Fleet serving: {rows[0]['chips']} chips, "
                f"{rows[0]['n_clusters']} clusters"

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import TraceRecorder
     from repro.serve.autoscale import AutoscalerState, ScaleEvent
     from repro.serve.budget import BatchAdmissionDecisions
+    from repro.serve.faults import FaultEvent, FaultRun
     from repro.serve.job import TraceArrays
     from repro.serve.scheduler import JobRecord
 
@@ -95,17 +96,21 @@ class FleetObs:
 
     def attach_scalar(self, *, policy: str,
                       records: "list[JobRecord]",
-                      state: "AutoscalerState | None") -> None:
+                      state: "AutoscalerState | None",
+                      faults: "FaultRun | None" = None) -> None:
         self._attach({"mode": "scalar", "policy": policy,
-                      "records": records, "state": state})
+                      "records": records, "state": state,
+                      "faults": faults})
 
     def attach_streaming(self, *, policy: str, trace: "TraceArrays",
                          decisions: "BatchAdmissionDecisions",
                          service: Any,
-                         state: "AutoscalerState | None") -> None:
+                         state: "AutoscalerState | None",
+                         faults: "FaultRun | None" = None) -> None:
         self._attach({"mode": "streaming", "policy": policy,
                       "trace": trace, "decisions": decisions,
-                      "service": service, "state": state})
+                      "service": service, "state": state,
+                      "faults": faults})
 
     # -- export ------------------------------------------------------------
 
@@ -119,8 +124,11 @@ class FleetObs:
         run = self._run
         policy: str = run["policy"]
         state: "AutoscalerState | None" = run["state"]
+        faults: "FaultRun | None" = run.get("faults")
         scale_events: "tuple[ScaleEvent, ...]" = \
             tuple(state.events) if state is not None else ()
+        fault_events: "list[FaultEvent]" = \
+            faults.events if faults is not None else []
         if run["mode"] == "scalar":
             rows: Iterable[Any] = _scalar_rows(run["records"])
         else:
@@ -130,10 +138,10 @@ class FleetObs:
             rows = list(rows)
         if self.recorder is not None:
             _emit_spans(self.recorder, policy, rows, self.samples,
-                        scale_events)
+                        scale_events, fault_events)
         if self.metrics is not None:
             _fold_metrics(self.metrics, policy, rows, self.samples,
-                          scale_events)
+                          scale_events, fault_events)
 
 
 def _scalar_rows(records: "list[JobRecord]") -> "Iterator[Any]":
@@ -181,7 +189,8 @@ def _streaming_rows(trace: "TraceArrays",
 def _emit_spans(recorder: "TraceRecorder", policy: str,
                 rows: Iterable[Any],
                 samples: "list[tuple[float, int, int, int, int]]",
-                scale_events: "tuple[ScaleEvent, ...]") -> None:
+                scale_events: "tuple[ScaleEvent, ...]",
+                fault_events: "list[FaultEvent]" = []) -> None:
     pid = recorder.pid(f"fleet: {policy}")
     for (job, tenant, model, arrival, status, granted, requested,
          eps_after, start, finish) in rows:
@@ -207,6 +216,24 @@ def _emit_spans(recorder: "TraceRecorder", policy: str,
         recorder.instant(
             event.label, event.time_s, pid=pid, tid=scale_tid,
             cat="autoscale", args=event.to_dict())
+    if fault_events:
+        fault_tid = recorder.tid(pid, "faults")
+        # A "retry" is the backoff wait that began at the matching
+        # failure instant — render it as a span, the rest as instants.
+        crash_at = {(e.job_id, e.attempt): e.time_s
+                    for e in fault_events if e.kind == "failure"}
+        for event in fault_events:
+            args = {"job": event.job_id, "attempt": event.attempt}
+            if event.kind == "retry":
+                crash_s = crash_at[(event.job_id, event.attempt)]
+                recorder.span(
+                    f"job-{event.job_id} backoff", crash_s,
+                    event.time_s - crash_s, pid=pid, tid=fault_tid,
+                    cat="fault", args=args)
+            else:
+                recorder.instant(
+                    f"job-{event.job_id} {event.kind}", event.time_s,
+                    pid=pid, tid=fault_tid, cat="fault", args=args)
     for t, queued, idle, active, pending in samples:
         recorder.counter("queue depth", t, {"queued": queued}, pid=pid)
         recorder.counter("clusters", t,
@@ -217,7 +244,8 @@ def _emit_spans(recorder: "TraceRecorder", policy: str,
 def _fold_metrics(metrics: "MetricsRegistry", policy: str,
                   rows: Iterable[Any],
                   samples: "list[tuple[float, int, int, int, int]]",
-                  scale_events: "tuple[ScaleEvent, ...]") -> None:
+                  scale_events: "tuple[ScaleEvent, ...]",
+                  fault_events: "list[FaultEvent]" = []) -> None:
     """Fold one run into counters / histograms / windowed series."""
     waits = metrics.histogram("wait_s", policy=policy)
     service = metrics.histogram("service_s", policy=policy)
@@ -243,6 +271,9 @@ def _fold_metrics(metrics: "MetricsRegistry", policy: str,
     for event in scale_events:
         metrics.counter("scale_decisions", policy=policy,
                         action=event.action, reason=event.reason).inc()
+    for fault in fault_events:
+        metrics.counter("fault_events", policy=policy,
+                        kind=fault.kind).inc()
     if samples:
         metrics.gauge("peak_queue_depth", policy=policy).set(
             max(sample[1] for sample in samples))

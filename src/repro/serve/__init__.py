@@ -22,6 +22,13 @@ from repro.serve.budget import (
     TenantBudget,
 )
 from repro.serve.capacity import CapacityPlan, CapacityProbe, plan_capacity
+from repro.serve.faults import (
+    AttemptOutcome,
+    FaultConfig,
+    FaultEvent,
+    FaultModel,
+    FaultRun,
+)
 from repro.serve.job import (
     JOB_ALGORITHMS,
     TRACE_SHAPES,
@@ -64,6 +71,11 @@ __all__ = [
     "CapacityPlan",
     "CapacityProbe",
     "plan_capacity",
+    "AttemptOutcome",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultModel",
+    "FaultRun",
     "TenantBudget",
     "AdmissionStatus",
     "AdmissionDecision",

@@ -220,6 +220,56 @@ class AdmissionController:
         return AdmissionDecision(
             status, granted, spent_after - spent_before, spent_after)
 
+    # -- crash/retry ledger transactions --------------------------------------
+
+    def reprice_steps(self, tenant: str, sampling_rate: float,
+                      noise_multiplier: float, steps: int) -> int:
+        """Reserve up to ``steps`` extra mechanism executions for ``tenant``.
+
+        Called when a crash discards work past the last checkpoint: the
+        lost steps already executed (their noise was released), so their
+        reservation stays spent, and re-running them needs a *fresh*
+        grant.  Prices the request against the tenant's remaining
+        budget and returns the granted count in ``[0, steps]`` —
+        possibly smaller than asked, never larger, so the ledger can
+        only move toward the budget cap, never past it.
+        """
+        if steps <= 0:
+            return 0
+        base = self._rdp.get(tenant)
+        budget = self.budget_for(tenant)
+        granted = max_steps_for_budget(
+            sampling_rate, noise_multiplier, budget.epsilon,
+            budget.delta, orders=self.orders, base_rdp=base,
+            max_steps=steps)
+        if granted <= 0:
+            return 0
+        per_step = compute_rdp(sampling_rate, noise_multiplier,
+                               1, self.orders)
+        if base is None:
+            base = np.zeros(len(self.orders))
+        self._rdp[tenant] = base + granted * per_step
+        return granted
+
+    def refund_steps(self, tenant: str, sampling_rate: float,
+                     noise_multiplier: float, steps: int) -> None:
+        """Return ``steps`` reserved-but-never-executed steps to the ledger.
+
+        Only reservations whose noise was never released may be
+        refunded (e.g. the un-run tail of a job abandoned after its
+        retry cap).  The subtraction mirrors the reservation's
+        ``steps x per-step`` RDP exactly; clipping at zero only absorbs
+        float round-off, so a refund can never mint budget.
+        """
+        if steps <= 0:
+            return
+        base = self._rdp.get(tenant)
+        if base is None:
+            return
+        per_step = compute_rdp(sampling_rate, noise_multiplier,
+                               1, self.orders)
+        self._rdp[tenant] = np.maximum(base - steps * per_step, 0.0)
+
     # -- batched (trace-at-once) admission -----------------------------------
 
     def admit_batch(self, trace: TraceArrays) -> "BatchAdmissionDecisions":

@@ -17,6 +17,7 @@ from repro.experiments.report import format_table
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.autoscale import AutoscalerState, ScaleEvent
     from repro.serve.budget import AdmissionController
+    from repro.serve.faults import FaultRun
     from repro.serve.scheduler import JobRecord
     from repro.serve.stream import StreamingStats
 
@@ -69,6 +70,17 @@ class FleetReport:
     ``peak_clusters`` the high-water mark, and ``chip_hours`` /
     ``cost`` the integral of active capacity over the run (zero on
     static runs, where capacity is a configuration, not an outcome).
+
+    When fault injection is on (``faults_enabled``), the report also
+    separates *throughput* (jobs completed) from *goodput* (the share
+    of available capacity whose work survived to a checkpoint or a
+    finish), and accounts the failure tax explicitly: jobs abandoned
+    after their retry cap, requeues, degraded continuations, chip-hours
+    wasted on recomputed-or-lost work, chip-hours lost to repair
+    downtime, and the mean repair time.  Repair downtime is subtracted
+    from the utilization/goodput denominator — a cluster under repair
+    is not available capacity — but stays in ``chip_hours``/``cost``:
+    the fleet still pays for a chip while it is being fixed.
     """
 
     policy: str
@@ -91,6 +103,15 @@ class FleetReport:
     peak_clusters: int = 0
     chip_hours: float = 0.0
     cost: float = 0.0
+    faults_enabled: bool = False
+    failed: int = 0
+    retries: int = 0
+    degradations: int = 0
+    goodput: float = 0.0
+    wasted_chip_hours: float = 0.0
+    repair_chip_hours: float = 0.0
+    mttr_s: float = 0.0
+    retries_per_job: float = 0.0
 
     def tenant(self, name: str) -> TenantUsage:
         for usage in self.tenants:
@@ -100,7 +121,7 @@ class FleetReport:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable summary (per-job records excluded)."""
-        return {
+        data: dict[str, Any] = {
             "policy": self.policy,
             "chips": self.chips,
             "n_clusters": self.n_clusters,
@@ -122,6 +143,20 @@ class FleetReport:
             "cost": self.cost,
             "tenants": [usage.to_dict() for usage in self.tenants],
         }
+        if self.faults_enabled:
+            # Only present on faulty runs, so zero-failure reports stay
+            # byte-identical to the pre-fault-injection format.
+            data["faults"] = {
+                "failed": self.failed,
+                "retries": self.retries,
+                "degradations": self.degradations,
+                "goodput": self.goodput,
+                "wasted_chip_hours": self.wasted_chip_hours,
+                "repair_chip_hours": self.repair_chip_hours,
+                "mttr_s": self.mttr_s,
+                "retries_per_job": self.retries_per_job,
+            }
+        return data
 
     def render(self) -> str:
         """Human-readable summary + per-tenant budget table."""
@@ -143,6 +178,14 @@ class FleetReport:
                 f"Autoscale: {ups} up / {downs} down decisions, peak "
                 f"{self.peak_clusters} clusters, {self.chip_hours:.1f} "
                 f"chip-hours (cost {self.cost:.2f})")
+        if self.faults_enabled:
+            lines.append(
+                f"Faults: {self.failed} failed, {self.retries} retries "
+                f"({self.retries_per_job:.2f}/job), {self.degradations} "
+                f"degraded; goodput {self.goodput * 100:.1f}%, wasted "
+                f"{self.wasted_chip_hours:.2f} chip-h, repair "
+                f"{self.repair_chip_hours:.2f} chip-h, MTTR "
+                f"{self.mttr_s:.0f} s")
         lines += ["", render_tenant_table(self.tenants)]
         return "\n".join(lines)
 
@@ -175,19 +218,32 @@ def tenant_usages(admission: "AdmissionController"
     )
 
 
-def _utilization(busy_s: float, n_clusters: int, makespan_s: float,
-                 autoscale: "AutoscalerState | None") -> float:
-    """Busy cluster-time over available cluster-time.
+def _available_seconds(n_clusters: int, makespan_s: float,
+                       autoscale: "AutoscalerState | None",
+                       downtime_s: float = 0.0) -> float:
+    """Cluster-seconds of capacity actually able to run jobs.
 
     Static fleets offer ``n_clusters x makespan``; autoscaled fleets
     offer the chip-hour integral the autoscaler accrued (so turning
-    idle clusters off *raises* utilization, as it should).
+    idle clusters off *raises* utilization, as it should).  Repair
+    downtime is subtracted in both cases: a cluster being fixed is
+    billed (it stays in ``chip_hours`` and ``cost``) but it is not
+    capacity the scheduler could have used.
     """
     if autoscale is not None:
-        available_s = (autoscale.chip_hours * 3600.0
-                       / autoscale.chips_per_cluster)
-        return busy_s / available_s if available_s > 0 else 0.0
-    return (busy_s / (n_clusters * makespan_s)) if makespan_s > 0 else 0.0
+        base = autoscale.chip_hours * 3600.0 / autoscale.chips_per_cluster
+    else:
+        base = n_clusters * makespan_s
+    return max(0.0, base - downtime_s)
+
+
+def _utilization(busy_s: float, n_clusters: int, makespan_s: float,
+                 autoscale: "AutoscalerState | None",
+                 downtime_s: float = 0.0) -> float:
+    """Busy cluster-time over available cluster-time."""
+    available_s = _available_seconds(n_clusters, makespan_s, autoscale,
+                                     downtime_s)
+    return busy_s / available_s if available_s > 0 else 0.0
 
 
 def _scale_fields(autoscale: "AutoscalerState | None", n_clusters: int
@@ -217,19 +273,54 @@ def build_streaming_report(
     waits: "StreamingStats",
     admission: "AdmissionController",
     autoscale: "AutoscalerState | None" = None,
+    faults: "FaultRun | None" = None,
+    records: "tuple[JobRecord, ...]" = (),
 ) -> FleetReport:
     """Fold streaming accumulators into a :class:`FleetReport`.
 
     The O(1)-memory counterpart of :func:`build_report`: ``waits`` is
     the scheduler's :class:`~repro.serve.stream.StreamingStats` over
     queueing delays (its percentiles are exact for small traces, P²
-    estimates past the warmup), and no per-job records are attached.
+    estimates past the warmup), and no per-job records are attached
+    unless the caller supplies them (the scalar simulator does when
+    faults are on, since both loops then share this builder).
+
+    ``faults`` (a finished :class:`~repro.serve.faults.FaultRun`)
+    switches on the failure block: goodput, wasted and repair
+    chip-hours, MTTR, retries-per-job — and removes repair downtime
+    from the utilization denominator.  Static fleets clip downtime at
+    the makespan (capacity past the last event was never offered);
+    autoscaled fleets count it in full, because the billing integral
+    keeps accruing through every repair.
     """
-    utilization = _utilization(busy_s, n_clusters, makespan_s, autoscale)
+    downtime_util_s = 0.0
+    fault_fields: dict[str, Any] = {}
+    if faults is not None:
+        downtime_full_s = faults.downtime_seconds()
+        downtime_util_s = (downtime_full_s if autoscale is not None
+                           else faults.downtime_seconds(makespan_s))
+        available_s = _available_seconds(n_clusters, makespan_s,
+                                         autoscale, downtime_util_s)
+        chip_h = chips_per_cluster / 3600.0
+        fault_fields = {
+            "faults_enabled": True,
+            "failed": faults.failed,
+            "retries": faults.retries,
+            "degradations": faults.degradations,
+            "goodput": ((busy_s - faults.wasted_s) / available_s
+                        if available_s > 0 else 0.0),
+            "wasted_chip_hours": faults.wasted_s * chip_h,
+            "repair_chip_hours": downtime_full_s * chip_h,
+            "mttr_s": faults.mttr_s,
+            "retries_per_job": faults.retries_per_job,
+        }
+    utilization = _utilization(busy_s, n_clusters, makespan_s, autoscale,
+                               downtime_util_s)
     throughput = (completed / makespan_s * 3600.0) if makespan_s > 0 \
         else 0.0
     return FleetReport(
         **_scale_fields(autoscale, n_clusters),
+        **fault_fields,
         policy=policy,
         chips=chips,
         n_clusters=n_clusters,
@@ -245,7 +336,7 @@ def build_streaming_report(
         wait_p95_s=waits.quantile(0.95),
         wait_p99_s=waits.quantile(0.99),
         tenants=tenant_usages(admission),
-        records=(),
+        records=records,
     )
 
 

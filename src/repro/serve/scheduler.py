@@ -51,6 +51,7 @@ from repro.serve.budget import (
     AdmissionDecision,
     BatchAdmissionDecisions,
 )
+from repro.serve.faults import FaultModel, FaultRun
 from repro.serve.job import TraceArrays, TrainingJob
 from repro.serve.metrics import (
     FleetReport,
@@ -148,6 +149,8 @@ class JobRecord:
     start_s: float | None = None
     finish_s: float | None = None
     cluster_index: int | None = None
+    #: Abandoned after exhausting its retries (fault injection only).
+    failed: bool = False
 
     @property
     def wait_s(self) -> float:
@@ -233,9 +236,12 @@ def _policy_key(
 
 
 #: Same-timestamp event order: arrivals, then provisioned clusters
-#: coming online, then completions.  Both simulators implement this
-#: order, which keeps their schedules identical under autoscaling.
+#: coming online, then completions, then repaired clusters rejoining,
+#: then retried jobs requeueing.  Both simulators implement this
+#: order, which keeps their schedules identical under autoscaling and
+#: fault injection alike.
 _PRIO_ARRIVAL, _PRIO_PROVISION, _PRIO_COMPLETION = 0, 1, 2
+_PRIO_REPAIR, _PRIO_RETRY = 3, 4
 
 
 def simulate_fleet(
@@ -245,6 +251,7 @@ def simulate_fleet(
     policy: str = "fifo",
     admission: AdmissionController | None = None,
     autoscaler: AutoscalerPolicy | None = None,
+    faults: FaultModel | None = None,
     cache: "runner.ResultCache | None" = None,
     dispatch_log: "list[tuple[int, float]] | None" = None,
     obs: "FleetObs | None" = None,
@@ -267,6 +274,17 @@ def simulate_fleet(
     the finished records attached at the end for span building /
     metric folding in ``obs.export()``.  ``None`` (default) is the
     exact pre-observability code path.
+
+    ``faults`` (a :class:`~repro.serve.faults.FaultModel`) injects
+    seeded failures: attempts crash mid-service, jobs requeue with
+    capped backoff or continue degraded at a smaller ``dp'``, clusters
+    repair after a downtime, and the admission ledger is re-priced per
+    crash (see :mod:`repro.serve.faults`).  With faults on, the whole
+    trace is admitted upfront in arrival order — decision-identical to
+    the streaming loop's batched admission — so crash-time ledger
+    transactions interleave identically in both simulators.  ``None``
+    (default) is the exact zero-failure code path, byte-identical to
+    the pre-fault-injection simulator.
     """
     if admission is None:
         admission = AdmissionController()
@@ -275,23 +293,37 @@ def simulate_fleet(
                              initial_clusters=fleet.n_clusters,
                              chips_per_cluster=fleet.chips_per_cluster)
              if autoscaler is not None else None)
+    frun = (FaultRun(faults, fleet, admission, cache=cache)
+            if faults is not None else None)
 
     # Event heap: (time, priority, seq, kind, payload).  priority
     # orders simultaneous events across kinds, seq within a kind;
     # payloads are never compared.
     events: list[tuple[float, int, int, str,
-                       JobRecord | TrainingJob | None]] = []
+                       JobRecord | TrainingJob | int | None]] = []
     seq = 0
+    predecided: dict[int, AdmissionDecision] = {}
     for job in sorted(trace, key=lambda j: (j.arrival_s, j.job_id)):
         heapq.heappush(events,
                        (job.arrival_s, _PRIO_ARRIVAL, seq, "arrival", job))
         seq += 1
+        if frun is not None:
+            # Upfront admission in arrival order — the scalar twin of
+            # admit_batch, so retry re-pricing sees the same ledger in
+            # both simulators.
+            predecided[job.job_id] = admission.admit(job)
 
     idle: list[int] = list(range(fleet.n_clusters))
     heapq.heapify(idle)
     next_cluster = fleet.n_clusters
     queue: list[JobRecord] = []
     records: list[JobRecord] = []
+    # With faults on, wait percentiles fold into the same streaming
+    # accumulator the streaming loop uses (per-dispatch, retries
+    # included), keeping the two reports identical.
+    step_by_job: dict[int, float] = {}
+    waits = (state.waits if state is not None else StreamingStats()) \
+        if frun is not None else None
     # Local mirror of the observer's sampling deadline: the per-event
     # guard is one float compare whether observability is on or off.
     obs_next_sample_s = obs.next_sample_s if obs is not None else math.inf
@@ -302,18 +334,30 @@ def simulate_fleet(
         if kind == "arrival":
             assert isinstance(payload, TrainingJob)
             job = payload
-            decision = admission.admit(job)
+            decision = (predecided[job.job_id] if frun is not None
+                        else admission.admit(job))
             record = JobRecord(job=job, decision=decision)
             records.append(record)
             if decision.admitted:
-                record.service_s = decision.granted_steps * \
-                    predict_step_seconds(fleet, job, cache=cache)
+                step_s = predict_step_seconds(fleet, job, cache=cache)
+                if frun is not None:
+                    step_by_job[job.job_id] = step_s
+                    record.service_s = decision.granted_steps * \
+                        frun.effective_step_seconds(job.model, step_s)
+                else:
+                    record.service_s = decision.granted_steps * step_s
                 queue.append(record)
         elif kind == "provision":
             assert state is not None
             state.activate_one(now)
             heapq.heappush(idle, next_cluster)
             next_cluster += 1
+        elif kind == "repair":
+            assert isinstance(payload, int)
+            heapq.heappush(idle, payload)
+        elif kind == "retry":
+            assert isinstance(payload, JobRecord)
+            queue.append(payload)
         else:  # completion
             assert isinstance(payload, JobRecord)
             record = payload
@@ -323,13 +367,58 @@ def simulate_fleet(
             nxt = min(queue, key=select_key)
             queue.remove(nxt)
             nxt.cluster_index = heapq.heappop(idle)
-            nxt.start_s = now
-            nxt.finish_s = now + nxt.service_s
-            heapq.heappush(events, (nxt.finish_s, _PRIO_COMPLETION, seq,
-                                    "completion", nxt))
-            seq += 1
-            if state is not None:
-                state.record_wait(nxt.wait_s)
+            if frun is None:
+                nxt.start_s = now
+                nxt.finish_s = now + nxt.service_s
+                heapq.heappush(events, (nxt.finish_s, _PRIO_COMPLETION,
+                                        seq, "completion", nxt))
+                seq += 1
+                if state is not None:
+                    state.record_wait(nxt.wait_s)
+            else:
+                job_id = nxt.job.job_id
+                if nxt.start_s is None:
+                    nxt.start_s = now
+                assert waits is not None
+                waits.add(float(now - frun.ready_s(job_id,
+                                                   nxt.job.arrival_s)))
+                outcome = frun.begin_attempt(
+                    job_id, now,
+                    step_s=step_by_job[job_id],
+                    granted=nxt.decision.granted_steps,
+                    requested=nxt.job.steps,
+                    tenant=nxt.job.tenant,
+                    sampling_rate=nxt.job.sampling_rate,
+                    noise_multiplier=nxt.job.noise_multiplier,
+                    private=nxt.job.is_private,
+                    model_name=nxt.job.model,
+                    algorithm=nxt.job.algorithm,
+                    batch=nxt.job.batch)
+                if outcome.completed:
+                    nxt.finish_s = outcome.finish_s
+                    heapq.heappush(events, (outcome.free_s,
+                                            _PRIO_COMPLETION, seq,
+                                            "completion", nxt))
+                    seq += 1
+                else:
+                    # The cluster goes down for repair; the job either
+                    # requeues after its backoff or is abandoned.
+                    assert nxt.cluster_index is not None
+                    heapq.heappush(events, (outcome.free_s, _PRIO_REPAIR,
+                                            seq, "repair",
+                                            nxt.cluster_index))
+                    seq += 1
+                    if outcome.retry_s is not None:
+                        nxt.service_s = frun.remaining_steps(
+                            job_id, nxt.decision.granted_steps) * \
+                            frun.effective_step_seconds(
+                                nxt.job.model, step_by_job[job_id])
+                        heapq.heappush(events, (outcome.retry_s,
+                                                _PRIO_RETRY, seq,
+                                                "retry", nxt))
+                        seq += 1
+                    else:
+                        nxt.failed = outcome.failed
             if dispatch_log is not None:
                 dispatch_log.append((nxt.job.job_id, now))
         if state is not None:
@@ -358,7 +447,30 @@ def simulate_fleet(
     if state is not None:
         state.finalize(now)
     if obs is not None:
-        obs.attach_scalar(policy=policy, records=records, state=state)
+        obs.attach_scalar(policy=policy, records=records, state=state,
+                          faults=frun)
+    if frun is not None:
+        # Fault metrics live in the FaultRun, fed by both loops in the
+        # same dispatch order — so the faulty scalar report is built by
+        # the same fold as the streaming one (plus the records).
+        assert waits is not None
+        return build_streaming_report(
+            policy=policy,
+            chips=fleet.chips,
+            n_clusters=fleet.n_clusters,
+            chips_per_cluster=fleet.chips_per_cluster,
+            submitted=len(records),
+            completed=frun.completed,
+            truncated=frun.truncated,
+            rejected=sum(1 for r in records if not r.decision.admitted),
+            makespan_s=frun.makespan_s,
+            busy_s=frun.busy_s,
+            waits=waits,
+            admission=admission,
+            autoscale=state,
+            faults=frun,
+            records=tuple(records),
+        )
     return build_report(
         policy=policy,
         chips=fleet.chips,
@@ -421,6 +533,30 @@ def predict_step_seconds_batch(
     return np.array(seconds, dtype=float)
 
 
+def _job_step_table(
+    trace: TraceArrays,
+    fleet: FleetConfig,
+    cache: "runner.ResultCache | None" = None,
+) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
+    """``(unique configs, inverse, step table)`` over the trace.
+
+    One batched evaluation prices every unique
+    (model, algorithm, rounded-batch) configuration; ``table[inverse]``
+    is the per-job base step latency.
+    """
+    width = fleet.dp
+    rounded = np.ceil(trace.batch / width).astype(np.int64) * width
+    configs = np.stack([trace.model, trace.algorithm, rounded], axis=1)
+    unique, inverse = np.unique(configs, axis=0, return_inverse=True)
+    table = predict_step_seconds_batch(
+        fleet,
+        [trace.models[int(row[0])] for row in unique],
+        [trace.algorithms[int(row[1])] for row in unique],
+        unique[:, 2].tolist(),
+        cache=cache)
+    return unique, inverse, table
+
+
 def _job_service_seconds(
     trace: TraceArrays,
     decisions: BatchAdmissionDecisions,
@@ -433,16 +569,7 @@ def _job_service_seconds(
     batched evaluation over the trace's unique configurations, then
     gathers ``granted_steps x step latency`` per job.
     """
-    width = fleet.dp
-    rounded = np.ceil(trace.batch / width).astype(np.int64) * width
-    configs = np.stack([trace.model, trace.algorithm, rounded], axis=1)
-    unique, inverse = np.unique(configs, axis=0, return_inverse=True)
-    table = predict_step_seconds_batch(
-        fleet,
-        [trace.models[int(row[0])] for row in unique],
-        [trace.algorithms[int(row[1])] for row in unique],
-        unique[:, 2].tolist(),
-        cache=cache)
+    _, inverse, table = _job_step_table(trace, fleet, cache=cache)
     return decisions.granted_steps * table[inverse]
 
 
@@ -454,6 +581,7 @@ def simulate_fleet_streaming(
     admission: AdmissionController | None = None,
     decisions: BatchAdmissionDecisions | None = None,
     autoscaler: AutoscalerPolicy | None = None,
+    faults: FaultModel | None = None,
     cache: "runner.ResultCache | None" = None,
     dispatch_log: "list[tuple[int, float]] | None" = None,
     obs: "FleetObs | None" = None,
@@ -495,6 +623,14 @@ def simulate_fleet_streaming(
         admission = AdmissionController()
     if decisions is None:
         decisions = admission.admit_batch(trace)
+    if faults is not None:
+        # Fault injection restructures the event set (repairs, retries)
+        # and the queues (requeued jobs re-sort by arrival), so it gets
+        # its own loop; the zero-failure path below stays untouched.
+        return _simulate_streaming_faulty(
+            trace, fleet, policy=policy, admission=admission,
+            decisions=decisions, autoscaler=autoscaler, faults=faults,
+            cache=cache, dispatch_log=dispatch_log, obs=obs)
     service = _job_service_seconds(trace, decisions, fleet, cache=cache)
     state = (AutoscalerState(autoscaler,
                              initial_clusters=fleet.n_clusters,
@@ -643,4 +779,219 @@ def simulate_fleet_streaming(
         waits=waits,
         admission=admission,
         autoscale=state,
+    )
+
+
+def _simulate_streaming_faulty(
+    trace: TraceArrays,
+    fleet: FleetConfig,
+    *,
+    policy: str,
+    admission: AdmissionController,
+    decisions: BatchAdmissionDecisions,
+    autoscaler: AutoscalerPolicy | None,
+    faults: FaultModel,
+    cache: "runner.ResultCache | None",
+    dispatch_log: "list[tuple[int, float]] | None",
+    obs: "FleetObs | None",
+) -> FleetReport:
+    """The fault-injecting twin of :func:`simulate_fleet_streaming`.
+
+    Differences from the zero-failure loop, each mirroring the scalar
+    simulator exactly:
+
+    - Completions, cluster repairs and job retries share one pending
+      heap keyed ``(time, priority, seq)`` — the same total order the
+      scalar event heap imposes.
+    - Queues re-sort requeued jobs by their *original* arrival (and
+      remaining service under SJF), so every policy keeps the scalar
+      ``min(queue, key)`` semantics; the budget policy reads the live
+      ledger, which moves at crash time, not only at arrivals.
+    - Every per-dispatch quantity is coerced to Python scalars before
+      entering the shared :class:`~repro.serve.faults.FaultRun`, so
+      both simulators execute bit-identical float arithmetic.
+    """
+    frun = FaultRun(faults, fleet, admission, cache=cache)
+    unique, inverse, table = _job_step_table(trace, fleet, cache=cache)
+    # Checkpoint-amortized step per unique config, through the same
+    # scalar helper (and memo) the scalar loop uses per job.
+    eff_table = np.array([
+        frun.effective_step_seconds(trace.models[int(row[0])],
+                                    float(table[pos]))
+        for pos, row in enumerate(unique)])
+    step = table[inverse]
+    service = decisions.granted_steps * eff_table[inverse]
+    state = (AutoscalerState(autoscaler,
+                             initial_clusters=fleet.n_clusters,
+                             chips_per_cluster=fleet.chips_per_cluster)
+             if autoscaler is not None else None)
+
+    total = len(trace)
+    arrival = trace.arrival_s
+    admitted = decisions.admitted
+    granted = decisions.granted_steps
+    steps_requested = trace.steps
+    tenant_idx = trace.tenant
+    tenant_names = trace.tenants
+    model_idx = trace.model
+    model_names = trace.models
+    algo_idx = trace.algorithm
+    algo_names = trace.algorithms
+    batch_arr = trace.batch
+    q_arr = trace.sampling_rate
+    nm_arr = trace.noise_multiplier
+    priv_arr = trace.is_private
+
+    #: Live remaining-service predictions for the SJF key; retries
+    #: shrink them exactly as the scalar loop rewrites ``service_s``.
+    service_live = [0.0] * total if policy == "sjf" else []
+    if policy == "sjf":
+        for job in range(total):
+            service_live[job] = float(service[job])
+
+    fifo_heap: list[tuple[float, int]] = []
+    sjf_heap: list[tuple[float, float, int]] = []
+    tenant_heaps: list[list[tuple[float, int]]] = \
+        [[] for _ in range(len(tenant_names))]
+    queued = 0
+
+    def push(job: int) -> None:
+        nonlocal queued
+        queued += 1
+        if policy == "fifo":
+            heapq.heappush(fifo_heap, (float(arrival[job]), job))
+        elif policy == "sjf":
+            heapq.heappush(sjf_heap, (service_live[job],
+                                      float(arrival[job]), job))
+        else:
+            heapq.heappush(tenant_heaps[int(tenant_idx[job])],
+                           (float(arrival[job]), job))
+
+    def pop() -> int:
+        nonlocal queued
+        queued -= 1
+        if policy == "fifo":
+            return heapq.heappop(fifo_heap)[1]
+        if policy == "sjf":
+            return heapq.heappop(sjf_heap)[2]
+        best: int | None = None
+        best_key: tuple[float, float, int] | None = None
+        for tenant, backlog in enumerate(tenant_heaps):
+            if not backlog:
+                continue
+            head_arrival, head = backlog[0]
+            remaining = admission.remaining_fraction(tenant_names[tenant])
+            key = (-remaining, head_arrival, head)
+            if best_key is None or key < best_key:
+                best, best_key = tenant, key
+        assert best is not None  # callers guarantee a queued job
+        return heapq.heappop(tenant_heaps[best])[1]
+
+    waits = state.waits if state is not None else StreamingStats()
+    obs_dispatch = obs.dispatches.append if obs is not None else None
+    obs_next_sample_s = obs.next_sample_s if obs is not None else math.inf
+    # Completions, repairs and retries in one heap; the priority slot
+    # reuses the scalar loop's constants, so popping order is the
+    # scalar event heap's order restricted to these kinds.
+    pending: list[tuple[float, int, int, int]] = []
+    pseq = 0
+    idle = fleet.n_clusters
+    index = 0
+    now = 0.0
+
+    while index < total or pending \
+            or (state is not None and state.pending):
+        t_arrival = arrival[index] if index < total else math.inf
+        t_provision = (state.next_provision_s() if state is not None
+                       else math.inf)
+        t_pending = pending[0][0] if pending else math.inf
+        if t_arrival <= t_provision and t_arrival <= t_pending:
+            job = index
+            now = float(t_arrival)
+            index += 1
+            if admitted[job]:
+                push(job)
+        elif t_provision <= t_pending:
+            assert state is not None
+            now = t_provision
+            state.activate_one(now)
+            idle += 1
+        else:
+            now, prio, _, jid = heapq.heappop(pending)
+            if prio == _PRIO_RETRY:
+                push(jid)
+            else:  # completion or repair: capacity returns either way
+                idle += 1
+        while idle and queued:
+            job = pop()
+            jid = int(job)
+            idle -= 1
+            waits.add(float(now - frun.ready_s(jid, float(arrival[job]))))
+            outcome = frun.begin_attempt(
+                jid, now,
+                step_s=float(step[job]),
+                granted=int(granted[job]),
+                requested=int(steps_requested[job]),
+                tenant=tenant_names[int(tenant_idx[job])],
+                sampling_rate=float(q_arr[job]),
+                noise_multiplier=float(nm_arr[job]),
+                private=bool(priv_arr[job]),
+                model_name=model_names[int(model_idx[job])],
+                algorithm=algo_names[int(algo_idx[job])],
+                batch=int(batch_arr[job]))
+            if outcome.completed:
+                heapq.heappush(pending, (outcome.free_s,
+                                         _PRIO_COMPLETION, pseq, jid))
+                pseq += 1
+            else:
+                heapq.heappush(pending, (outcome.free_s, _PRIO_REPAIR,
+                                         pseq, jid))
+                pseq += 1
+                if outcome.retry_s is not None:
+                    if policy == "sjf":
+                        service_live[jid] = frun.remaining_steps(
+                            jid, int(granted[job])) * \
+                            frun.effective_step_seconds(
+                                model_names[int(model_idx[job])],
+                                float(step[job]))
+                    heapq.heappush(pending, (outcome.retry_s,
+                                             _PRIO_RETRY, pseq, jid))
+                    pseq += 1
+            if dispatch_log is not None:
+                dispatch_log.append((jid, now))
+            if obs_dispatch is not None:
+                obs_dispatch((jid, now))
+        if state is not None:
+            delta = state.decide(now, queued, idle)
+            if delta < 0:
+                idle += delta
+        if now >= obs_next_sample_s:
+            assert obs is not None  # deadline is +inf otherwise
+            obs.sample(now, queued, idle,
+                       state.active if state is not None
+                       else fleet.n_clusters,
+                       len(state.pending) if state is not None else 0)
+            obs_next_sample_s = obs.next_sample_s
+
+    if state is not None:
+        state.finalize(now)
+    if obs is not None:
+        obs.attach_streaming(policy=policy, trace=trace,
+                             decisions=decisions, service=service,
+                             state=state, faults=frun)
+    return build_streaming_report(
+        policy=policy,
+        chips=fleet.chips,
+        n_clusters=fleet.n_clusters,
+        chips_per_cluster=fleet.chips_per_cluster,
+        submitted=total,
+        completed=frun.completed,
+        truncated=frun.truncated,
+        rejected=int((~admitted).sum()),
+        makespan_s=frun.makespan_s,
+        busy_s=frun.busy_s,
+        waits=waits,
+        admission=admission,
+        autoscale=state,
+        faults=frun,
     )

@@ -103,6 +103,26 @@ def memory_breakdown(
     )
 
 
+def checkpoint_bytes(
+    network: Network,
+    grad_bytes: int = 4,
+    master_bytes: int = 4,
+    optimizer_slots: int = 1,
+) -> int:
+    """Bytes of persistent state one training checkpoint must capture.
+
+    Restartable state is the FP32 master weights plus the optimizer
+    slots — the same per-parameter terms :func:`memory_breakdown`
+    charges as resident HBM.  Activations, per-example gradients and
+    the batch-gradient buffer are transient within a step and are
+    recomputed after a restart, so they never reach storage.
+    """
+    if optimizer_slots < 0:
+        raise ValueError(
+            f"optimizer_slots must be >= 0, got {optimizer_slots}")
+    return network.params * (master_bytes + grad_bytes * optimizer_slots)
+
+
 def max_batch_size(
     network: Network,
     algorithm: Algorithm,

@@ -54,7 +54,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.arch.accelerator import Accelerator, OpRun
 from repro.arch.cluster import Cluster, ParallelPlan
@@ -826,6 +826,172 @@ def _update_only(accel: Accelerator, params: int) -> OpRun:
         dram_read_bytes=2 * params * GRAD_BYTES,
         dram_write_bytes=params * GRAD_BYTES,
     )
+
+
+# -- checkpoint/restart cost model -------------------------------------------
+
+#: Default checkpoint storage write bandwidth: a burst buffer / local
+#: SSD tier at 2 GiB/s per cluster.
+DEFAULT_STORAGE_BYTES_PER_S = 2.0 * 2**30
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint cadence and storage path of one training job.
+
+    ``interval_steps`` is the number of optimizer steps between
+    checkpoint writes; ``None`` asks the consumer to derive a
+    Young/Daly-optimal cadence from the failure rate
+    (:func:`young_daly_interval_s`).  ``storage_bytes_per_s`` is the
+    sequential write bandwidth the checkpoint state
+    (:func:`repro.training.memory.checkpoint_bytes`) drains through.
+    """
+
+    interval_steps: int | None = None
+    storage_bytes_per_s: float = DEFAULT_STORAGE_BYTES_PER_S
+
+    def __post_init__(self) -> None:
+        if self.interval_steps is not None and self.interval_steps < 1:
+            raise ValueError(
+                f"interval_steps must be >= 1 or None, got "
+                f"{self.interval_steps}")
+        if self.storage_bytes_per_s <= 0:
+            raise ValueError(
+                f"storage_bytes_per_s must be positive, got "
+                f"{self.storage_bytes_per_s}")
+
+
+def checkpoint_write_seconds(
+    network: Network,
+    config: CheckpointConfig = CheckpointConfig(),
+) -> float:
+    """Seconds one checkpoint write stalls training.
+
+    State bytes come from the memory model
+    (:func:`repro.training.memory.checkpoint_bytes`); the write is
+    synchronous — steps do not overlap the drain — which keeps the
+    model conservative and the closed forms below exact.
+    """
+    from repro.training.memory import checkpoint_bytes
+
+    return checkpoint_bytes(network) / config.storage_bytes_per_s
+
+
+def checkpointed_step_seconds(step_s: float, write_s: float,
+                              interval_steps: int) -> float:
+    """Step latency with the checkpoint write amortized per interval."""
+    if interval_steps < 1:
+        raise ValueError(
+            f"interval_steps must be >= 1, got {interval_steps}")
+    if step_s <= 0 or write_s < 0:
+        raise ValueError(
+            f"need step_s > 0 and write_s >= 0, got {step_s}, {write_s}")
+    return step_s + write_s / interval_steps
+
+
+def young_daly_interval_s(write_s: float, mtbf_s: float) -> float:
+    """Young/Daly-optimal seconds of work between checkpoints.
+
+    The classic first-order optimum ``sqrt(2 * write_s * mtbf_s)``
+    (Young 1974; Daly 2006) for memoryless failures when checkpoint
+    cost is small against the MTBF.  Property tests pin it against a
+    sweep of :func:`expected_completion_seconds`.
+    """
+    if write_s <= 0 or mtbf_s <= 0:
+        raise ValueError(
+            f"write_s and mtbf_s must be positive, got {write_s}, "
+            f"{mtbf_s}")
+    return math.sqrt(2.0 * write_s * mtbf_s)
+
+
+def _expected_segment_seconds(u_s: float, mtbf_s: float,
+                              restart_s: float) -> float:
+    """Expected wall time to finish ``u_s`` of uninterruptible work.
+
+    Memoryless failures at rate ``1 / mtbf_s``; each failure loses the
+    whole segment and pays ``restart_s`` of downtime before retrying.
+    The renewal argument gives the exact closed form
+    ``(mtbf + restart) * (e^(u / mtbf) - 1)``.
+    """
+    return (mtbf_s + restart_s) * math.expm1(u_s / mtbf_s)
+
+
+def expected_completion_seconds(
+    work_s: float,
+    *,
+    mtbf_s: float,
+    interval_s: float,
+    write_s: float = 0.0,
+    restart_s: float = 0.0,
+) -> float:
+    """Expected wall time to finish ``work_s`` of checkpointed work.
+
+    The job writes a checkpoint after every ``interval_s`` of
+    progress (costing ``write_s``, during which a failure also loses
+    the segment), failures arrive memorylessly with mean ``mtbf_s``,
+    and each failure rolls back to the last checkpoint and pays
+    ``restart_s`` of restart/repair downtime.  Exact for this model —
+    :func:`simulate_checkpointed_run` is the discrete-event twin the
+    property tests average against.
+    """
+    if work_s < 0:
+        raise ValueError(f"work_s must be >= 0, got {work_s}")
+    if mtbf_s <= 0 or interval_s <= 0:
+        raise ValueError(
+            f"mtbf_s and interval_s must be positive, got {mtbf_s}, "
+            f"{interval_s}")
+    if write_s < 0 or restart_s < 0:
+        raise ValueError(
+            f"write_s and restart_s must be >= 0, got {write_s}, "
+            f"{restart_s}")
+    n_full = int(work_s // interval_s)
+    remainder_s = work_s - n_full * interval_s
+    total = n_full * _expected_segment_seconds(
+        interval_s + write_s, mtbf_s, restart_s)
+    if remainder_s > 0:
+        # The tail segment never checkpoints: the job is done.
+        total += _expected_segment_seconds(remainder_s, mtbf_s, restart_s)
+    return total
+
+
+def simulate_checkpointed_run(
+    work_s: float,
+    failure_gaps_s: "Sequence[float]",
+    *,
+    interval_s: float,
+    write_s: float = 0.0,
+    restart_s: float = 0.0,
+) -> float:
+    """Discrete-event twin of :func:`expected_completion_seconds`.
+
+    Replays one job against an explicit sequence of inter-failure
+    times (so the caller owns the randomness — e.g. seeded draws from
+    :class:`repro.serve.faults.FaultModel`): each segment of
+    ``interval_s`` work plus its ``write_s`` checkpoint must run
+    uninterrupted; a failure inside it wastes the elapsed fraction,
+    pays ``restart_s``, and retries the segment from the checkpoint.
+    Raises if the gap sequence is exhausted before the job finishes.
+    """
+    if work_s < 0:
+        raise ValueError(f"work_s must be >= 0, got {work_s}")
+    if interval_s <= 0:
+        raise ValueError(
+            f"interval_s must be positive, got {interval_s}")
+    gaps = iter(failure_gaps_s)
+    clock_s = 0.0
+    until_failure_s = next(gaps)
+    done_s = 0.0
+    while done_s < work_s:
+        segment_s = min(interval_s, work_s - done_s)
+        need_s = segment_s + (write_s if segment_s == interval_s else 0.0)
+        while until_failure_s < need_s:
+            # Lost the segment: pay the elapsed fraction + restart.
+            clock_s += until_failure_s + restart_s
+            until_failure_s = next(gaps)
+        clock_s += need_s
+        until_failure_s -= need_s
+        done_s += segment_s
+    return clock_s
 
 
 def stage_utilization(accel: Accelerator, gemms: list[Gemm]) -> float:

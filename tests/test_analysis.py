@@ -436,9 +436,10 @@ def test_baseline_split(tmp_path):
     assert stale == ["bogus::R9::x"]
 
 
-def test_registry_has_seven_rules():
+def test_registry_has_eight_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
+                   "R007", "R008"]
     assert all(rule.title for rule in all_rules())
 
 
